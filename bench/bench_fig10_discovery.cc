@@ -1,0 +1,96 @@
+// Achilles reproduction -- Figure 10.
+//
+// "Percentage of real Trojan messages in FSP discovered by Achilles, as
+// a function of time." The paper's run produced the first Trojan after
+// 20 of 43 minutes of server analysis and all 80 by minute 43;
+// discovery is incremental and monotone, so interrupting the analysis
+// early still yields useful output. We reproduce the discovery
+// timeline over the 80 known length-mismatch Trojan types and print the
+// cumulative curve (percent of analysis time vs percent of Trojans).
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "core/achilles.h"
+#include "proto/fsp/fsp_concrete.h"
+#include "proto/fsp/fsp_protocol.h"
+
+using namespace achilles;
+
+int
+main()
+{
+    bench::Header("Figure 10 -- Trojan discovery timeline (FSP)");
+
+    smt::ExprContext ctx;
+    smt::Solver solver(&ctx);
+
+    const std::vector<symexec::Program> clients = fsp::MakeAllClients();
+    const symexec::Program server = fsp::MakeServer();
+
+    core::AchillesConfig config;
+    config.layout = fsp::MakeLayout();
+    for (const symexec::Program &c : clients)
+        config.clients.push_back(&c);
+    config.server = &server;
+    const core::AchillesResult result =
+        core::RunAchilles(&ctx, &solver, config);
+
+    // Build the (time, newly discovered type) sequence.
+    struct Event
+    {
+        double seconds;
+        fsp::LengthTrojanType type;
+    };
+    std::vector<Event> events;
+    std::set<fsp::LengthTrojanType> seen;
+    std::vector<core::TrojanWitness> sorted = result.server.trojans;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const core::TrojanWitness &a,
+                 const core::TrojanWitness &b) {
+                  return a.discovered_at_seconds < b.discovered_at_seconds;
+              });
+    for (const core::TrojanWitness &t : sorted) {
+        const fsp::Bytes m(t.concrete.begin(), t.concrete.end());
+        auto type = fsp::ClassifyLengthTrojan(m);
+        if (!type.has_value() || !seen.insert(*type).second)
+            continue;
+        events.push_back(Event{t.discovered_at_seconds, *type});
+    }
+    const double total = result.server.seconds;
+
+    bench::Section("cumulative discovery (percent of server-analysis "
+                   "time -> percent of the 80 known Trojans)");
+    std::printf("%12s %12s %12s\n", "time (s)", "time (%)", "found (%)");
+    const size_t known_total = 80;
+    size_t found = 0;
+    // Print at every 10% discovery increment plus first/last events.
+    size_t next_print = 1;
+    for (const Event &e : events) {
+        ++found;
+        const bool is_decile =
+            found * 10 / known_total >= next_print || found == 1 ||
+            found == events.size();
+        if (is_decile) {
+            std::printf("%12.3f %11.1f%% %11.1f%%\n", e.seconds,
+                        100.0 * e.seconds / total,
+                        100.0 * found / known_total);
+            next_print = found * 10 / known_total + 1;
+        }
+    }
+    std::printf("%12.3f %11.1f%% %11.1f%%  (analysis end)\n", total,
+                100.0, 100.0 * found / known_total);
+
+    bench::Note("paper: first Trojan ~46% into the 43-minute server "
+                "analysis, 100% at the end; discovery is incremental");
+    bench::Note("interrupting the analysis early still produces "
+                "every Trojan found so far");
+
+    const bool ok = found == known_total;
+    std::printf("\nRESULT: %s (%zu/%zu types discovered "
+                "incrementally)\n",
+                ok ? "PASS" : "MISMATCH", found, known_total);
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+// Achilles reproduction -- Figure 11.
+//
+// "Number of client path predicates that can trigger each execution
+// path in the FSP server, as a function of the length of the path."
+// The paper's curve starts at ~5,000 predicates (their client predicate
+// count) and decays toward 1 as server paths specialize; ours starts at
+// 32 (8 utilities x 4 path lengths under the length<5 bound) and must
+// show the same monotone-decay shape: longer execution paths are
+// triggered by fewer client predicates, so Trojan checks get cheaper.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/synth_protocol.h"
+#include "core/achilles.h"
+#include "proto/fsp/fsp_protocol.h"
+
+using namespace achilles;
+
+int
+main()
+{
+    bench::Header("Figure 11 -- client path predicates matching each "
+                  "server path vs path length (FSP)");
+
+    smt::ExprContext ctx;
+    smt::Solver solver(&ctx);
+
+    const std::vector<symexec::Program> clients = fsp::MakeAllClients();
+    const symexec::Program server = fsp::MakeServer();
+
+    core::AchillesConfig config;
+    config.layout = fsp::MakeLayout();
+    for (const symexec::Program &c : clients)
+        config.clients.push_back(&c);
+    config.server = &server;
+    // Disable pruning so the samples cover the whole exploration tree,
+    // like the paper's figure (which plots incomplete paths too).
+    config.server_config.prune_trojan_free_states = false;
+    const core::AchillesResult result =
+        core::RunAchilles(&ctx, &solver, config);
+
+    // Aggregate the (path length, live predicates) samples.
+    std::map<size_t, std::vector<size_t>> by_length;
+    for (const core::LiveSetSample &s : result.server.live_samples)
+        by_length[s.path_length].push_back(s.live_predicates);
+
+    bench::Section("per-length distribution of matching predicates");
+    std::printf("%8s %10s %10s %10s %10s\n", "length", "samples", "min",
+                "avg", "max");
+    double first_avg = 0.0, last_avg = 0.0;
+    size_t deep_max = 0;
+    bool first = true;
+    for (const auto &[length, samples] : by_length) {
+        const size_t min_v =
+            *std::min_element(samples.begin(), samples.end());
+        const size_t max_v =
+            *std::max_element(samples.begin(), samples.end());
+        double avg = 0;
+        for (size_t v : samples)
+            avg += static_cast<double>(v);
+        avg /= static_cast<double>(samples.size());
+        std::printf("%8zu %10zu %10zu %10.1f %10zu\n", length,
+                    samples.size(), min_v, avg, max_v);
+        if (first) {
+            first_avg = avg;
+            first = false;
+        }
+        last_avg = avg;
+        deep_max = max_v;
+    }
+
+    bench::Note("paper: starts at ~5,000 matching expressions (their "
+                "client predicate count; ours is 32 at the same bound) "
+                "and decays toward a handful as paths lengthen; the "
+                "scatter is not strictly monotone in either version");
+    bench::Note("the decay is what makes the per-branch Trojan check "
+                "tractable (Section 3.3)");
+
+    const size_t total_preds = result.client_predicate.paths.size();
+    // Shape: deep paths match a small fraction of the predicate set.
+    const bool ok = !by_length.empty() && last_avg < first_avg &&
+                    deep_max * 4 <= total_preds;
+
+    // Scaled variant: the synthetic protocol with 64 client path
+    // predicates and binary command dispatch shows the same curve at a
+    // magnitude closer to the paper's (their ~5,000 predicates).
+    bench::Section("scaled variant (synthetic protocol, N = 64)");
+    const symexec::Program sclient = synth::MakeClient(64);
+    const symexec::Program sserver = synth::MakeServer(64);
+    core::AchillesConfig sconfig;
+    sconfig.layout = synth::MakeLayout();
+    sconfig.clients = {&sclient};
+    sconfig.server = &sserver;
+    sconfig.server_config.prune_trojan_free_states = false;
+    const core::AchillesResult sresult =
+        core::RunAchilles(&ctx, &solver, sconfig);
+    std::map<size_t, std::pair<double, size_t>> sagg;  // len -> sum,count
+    for (const core::LiveSetSample &s : sresult.server.live_samples) {
+        sagg[s.path_length].first += static_cast<double>(
+            s.live_predicates);
+        sagg[s.path_length].second += 1;
+    }
+    std::printf("%8s %10s\n", "length", "avg");
+    for (const auto &[length, sum_count] : sagg) {
+        if (length % 2 == 0 || length < 4) {
+            std::printf("%8zu %10.1f\n", length,
+                        sum_count.first / sum_count.second);
+        }
+    }
+    bench::Note("binary dispatch halves the live set per level: "
+                "64 -> 32 -> 16 -> ... -> 1, the paper's decay at "
+                "larger magnitude");
+
+    std::printf("\nRESULT: %s (avg matching predicates decays "
+                "%.1f -> %.1f; deepest max %zu of %zu)\n",
+                ok ? "PASS (shape reproduced)" : "MISMATCH", first_avg,
+                last_avg, deep_max, total_preds);
+    return ok ? 0 : 1;
+}

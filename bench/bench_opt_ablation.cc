@@ -1,0 +1,150 @@
+// Achilles reproduction -- Section 6.4: handling large client
+// predicates (optimization ablation).
+//
+// The paper compares Achilles (incremental predicate dropping +
+// differentFrom + state pruning) against a non-optimized implementation
+// that runs plain symbolic execution and computes Trojan messages a
+// posteriori: 1h03 vs 2h15 on FSP (~2.1x).
+//
+// Two workloads here:
+//   * FSP at the paper's bound (32 client path predicates) -- all four
+//     configurations, wall-clock + solver-work counters;
+//   * the synthetic scaled protocol (one predicate per subcommand) at
+//     growing N, where the incremental-vs-a-posteriori gap opens the
+//     way the paper describes (live sets collapse to 1; a-posteriori
+//     queries carry all N negations).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/synth_protocol.h"
+#include "core/achilles.h"
+#include "proto/fsp/fsp_protocol.h"
+#include "support/timer.h"
+
+using namespace achilles;
+
+namespace {
+
+struct RunOutcome
+{
+    double seconds = 0.0;
+    size_t trojans = 0;
+    long long match_queries = 0;
+    long long trojan_queries = 0;
+    long long difffrom_drops = 0;
+};
+
+RunOutcome
+RunConfig(core::AchillesConfig config)
+{
+    // A fresh context per configuration keeps solver caches from
+    // leaking work across runs.
+    smt::ExprContext ctx;
+    smt::Solver solver(&ctx);
+    Timer timer;
+    const core::AchillesResult result =
+        core::RunAchilles(&ctx, &solver, config);
+    RunOutcome out;
+    out.seconds = timer.Seconds();
+    out.trojans = result.server.trojans.size();
+    out.match_queries =
+        result.server.stats.Get("explorer.match_queries");
+    out.trojan_queries =
+        result.server.stats.Get("explorer.trojan_queries");
+    out.difffrom_drops =
+        result.server.stats.Get("explorer.difffrom_drops");
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::Header("Section 6.4 -- optimization ablation");
+
+    // ----- FSP at the paper's bound -----
+    const std::vector<symexec::Program> clients = fsp::MakeAllClients();
+    const symexec::Program server = fsp::MakeServer();
+    core::AchillesConfig base;
+    base.layout = fsp::MakeLayout();
+    for (const symexec::Program &c : clients)
+        base.clients.push_back(&c);
+    base.server = &server;
+
+    bench::Section("FSP (32 client path predicates)");
+    std::printf("%-34s %9s %9s %9s %9s\n", "configuration", "time(s)",
+                "trojans", "matchQ", "trojanQ");
+
+    auto full = base;
+    const RunOutcome r_full = RunConfig(full);
+    std::printf("%-34s %9.3f %9zu %9lld %9lld\n",
+                "Achilles (all optimizations)", r_full.seconds,
+                r_full.trojans, r_full.match_queries,
+                r_full.trojan_queries);
+
+    auto no_dff = base;
+    no_dff.server_config.use_different_from = false;
+    const RunOutcome r_nodff = RunConfig(no_dff);
+    std::printf("%-34s %9.3f %9zu %9lld %9lld\n", "  - differentFrom",
+                r_nodff.seconds, r_nodff.trojans, r_nodff.match_queries,
+                r_nodff.trojan_queries);
+
+    auto no_drop = base;
+    no_drop.server_config.drop_client_predicates = false;
+    const RunOutcome r_nodrop = RunConfig(no_drop);
+    std::printf("%-34s %9.3f %9zu %9lld %9lld\n",
+                "  - predicate dropping", r_nodrop.seconds,
+                r_nodrop.trojans, r_nodrop.match_queries,
+                r_nodrop.trojan_queries);
+
+    auto apost = base;
+    apost.server_config.mode = core::SearchMode::kAPosteriori;
+    const RunOutcome r_apost = RunConfig(apost);
+    std::printf("%-34s %9.3f %9zu %9lld %9lld\n",
+                "a-posteriori differencing", r_apost.seconds,
+                r_apost.trojans, r_apost.match_queries,
+                r_apost.trojan_queries);
+    bench::Note("with only 32 predicates the per-branch bookkeeping "
+                "can rival a-posteriori cost; the paper's gap appears "
+                "at scale (below)");
+
+    // ----- Synthetic scaled protocol -----
+    bench::Section("synthetic protocol, growing client predicate count");
+    std::printf("%6s %14s %16s %9s\n", "N", "Achilles (s)",
+                "a-posteriori (s)", "speedup");
+    bool gap_at_scale = false;
+    double last_speedup = 0.0;
+    for (uint32_t n : {16u, 32u, 64u}) {
+        const symexec::Program sclient = synth::MakeClient(n);
+        const symexec::Program sserver = synth::MakeServer(n);
+        core::AchillesConfig sconfig;
+        sconfig.layout = synth::MakeLayout();
+        sconfig.clients = {&sclient};
+        sconfig.server = &sserver;
+
+        const RunOutcome inc = RunConfig(sconfig);
+
+        auto sapost = sconfig;
+        sapost.server_config.mode = core::SearchMode::kAPosteriori;
+        const RunOutcome ap = RunConfig(sapost);
+
+        last_speedup = ap.seconds / inc.seconds;
+        std::printf("%6u %14.3f %16.3f %8.2fx\n", n, inc.seconds,
+                    ap.seconds, last_speedup);
+        if (inc.trojans == 0 || ap.trojans == 0)
+            std::printf("    WARNING: missing trojans (inc=%zu ap=%zu)\n",
+                        inc.trojans, ap.trojans);
+        gap_at_scale = last_speedup > 1.0;
+    }
+    bench::Note("paper: Achilles 1h03 vs non-optimized 2h15 on FSP "
+                "(2.1x) with thousands of client path predicates");
+
+    const bool ok = r_full.trojans > 0 && r_apost.trojans > 0 &&
+                    gap_at_scale;
+    std::printf("\nRESULT: %s (speedup at N=64: %.2fx)\n",
+                ok ? "PASS (shape reproduced)" : "MISMATCH",
+                last_speedup);
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+// Achilles reproduction -- Section 6.2/6.3, PBFT.
+//
+// Reproduces the PBFT analysis results: Achilles completes in seconds,
+// discovers a single type of Trojan message (requests with corrupted
+// MAC authenticators -- the known "MAC attack" vulnerability), and the
+// Trojan appears bundled with valid messages on every accepting path,
+// so classic symbolic execution cannot isolate it.
+
+#include <cstdio>
+
+#include "baselines/classic_se.h"
+#include "bench/bench_util.h"
+#include "core/achilles.h"
+#include "proto/pbft/pbft_concrete.h"
+#include "proto/pbft/pbft_protocol.h"
+
+using namespace achilles;
+
+namespace {
+
+uint16_t
+Read16At(const std::vector<uint8_t> &m, uint32_t off)
+{
+    return static_cast<uint16_t>(m[off]) |
+           (static_cast<uint16_t>(m[off + 1]) << 8);
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::Header("Section 6.2 -- PBFT: rediscovering the MAC attack");
+
+    smt::ExprContext ctx;
+    smt::Solver solver(&ctx);
+
+    const symexec::Program client = pbft::MakeClient();
+    const symexec::Program replica = pbft::MakeReplica();
+
+    core::AchillesConfig config;
+    config.layout = pbft::MakeLayout();
+    config.clients = {&client};
+    config.server = &replica;
+    const core::AchillesResult result =
+        core::RunAchilles(&ctx, &solver, config);
+
+    bench::Section("analysis summary");
+    std::printf("  total time: %.3f s (client %.3f + preprocess %.3f + "
+                "server %.3f)\n",
+                result.timings.Total(),
+                result.timings.client_extraction,
+                result.timings.preprocessing,
+                result.timings.server_analysis);
+    bench::Note("paper: 'Achilles completed the PBFT analysis in just "
+                "a few seconds'");
+    std::printf("  client path predicates: %zu\n",
+                result.client_predicate.paths.size());
+    std::printf("  accepting replica paths: %zu\n",
+                result.server.accepting_paths.size());
+    std::printf("  Trojan witnesses: %zu\n",
+                result.server.trojans.size());
+
+    size_t bad_mac_witnesses = 0;
+    size_t bundled = 0;
+    for (const core::TrojanWitness &t : result.server.trojans) {
+        bool bad_mac = false;
+        for (uint32_t r = 0; r < pbft::kNumReplicas; ++r) {
+            if (Read16At(t.concrete, pbft::kOffMac + 2 * r) !=
+                pbft::kValidMac) {
+                bad_mac = true;
+            }
+        }
+        bad_mac_witnesses += bad_mac ? 1 : 0;
+        bundled += t.bundled_with_valid ? 1 : 0;
+    }
+    std::printf("  witnesses with corrupted authenticators: %zu/%zu\n",
+                bad_mac_witnesses, result.server.trojans.size());
+    std::printf("  witnesses bundled with valid messages: %zu/%zu\n",
+                bundled, result.server.trojans.size());
+    bench::Note("paper: a single Trojan type (bad MAC), present on all "
+                "accepting paths, always bundled with valid requests");
+
+    // Classic SE for contrast: accepted messages are a blend.
+    baselines::ClassicSeConfig classic_config;
+    classic_config.enumerate_per_path = 16;
+    const baselines::ClassicSeResult classic = baselines::RunClassicSe(
+        &ctx, &solver, &replica, config.layout, classic_config);
+    size_t classic_trojans = 0;
+    for (const auto &m : classic.messages) {
+        bool bad_mac = false;
+        for (uint32_t r = 0; r < pbft::kNumReplicas; ++r)
+            bad_mac |= (Read16At(m, pbft::kOffMac + 2 * r) !=
+                        pbft::kValidMac);
+        classic_trojans += bad_mac ? 1 : 0;
+    }
+    bench::Section("classic symbolic execution (contrast)");
+    std::printf("  enumerated accepted messages: %zu, of which "
+                "MAC-Trojan: %zu\n",
+                classic.messages.size(), classic_trojans);
+    bench::Note("the MAC bytes are unconstrained on the accepting "
+                "paths, so enumeration surfaces them only by chance; "
+                "Achilles pinpoints them via the negated client "
+                "predicate");
+
+    // Fixed replica: no Trojans.
+    pbft::ReplicaChecks fixed;
+    fixed.verify_mac = true;
+    const symexec::Program fixed_replica = pbft::MakeReplica(fixed);
+    config.server = &fixed_replica;
+    const core::AchillesResult fixed_result =
+        core::RunAchilles(&ctx, &solver, config);
+    bench::Section("fixed replica (primary verifies its MAC)");
+    std::printf("  Trojan witnesses: %zu\n",
+                fixed_result.server.trojans.size());
+
+    const bool ok = !result.server.trojans.empty() &&
+                    bad_mac_witnesses == result.server.trojans.size() &&
+                    bundled == result.server.trojans.size() &&
+                    fixed_result.server.trojans.empty() &&
+                    result.timings.Total() < 60.0;
+    std::printf("\nRESULT: %s\n", ok ? "PASS (shape reproduced)"
+                                     : "MISMATCH (see numbers above)");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Achilles reproduction -- symbolic execution engine micro-benchmarks.
+//
+// Measures engine throughput: state forking on branchy programs,
+// straight-line interpretation, and symbolic-index array access (the
+// ITE-chain encoding choice called out in DESIGN.md).
+
+#include <benchmark/benchmark.h>
+
+#include "smt/solver.h"
+#include "symexec/engine.h"
+#include "symexec/program.h"
+
+using namespace achilles;
+using namespace achilles::symexec;
+
+namespace {
+
+/** 2^depth paths from `depth` independent symbolic branches. */
+void
+BM_ForkingExploration(benchmark::State &state)
+{
+    const uint32_t depth = static_cast<uint32_t>(state.range(0));
+    ProgramBuilder b("forky");
+    b.Function("main", {}, 0, [&] {
+        for (uint32_t i = 0; i < depth; ++i) {
+            Val x = b.ReadInput("x" + std::to_string(i), 8);
+            b.If(x < 128, [&] {}, [&] {});
+        }
+        b.Halt();
+    });
+    const Program p = b.Build();
+    for (auto _ : state) {
+        smt::ExprContext ctx;
+        smt::Solver solver(&ctx);
+        Engine engine(&ctx, &solver, &p, Mode::kClient);
+        auto results = engine.Run();
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.counters["paths"] = static_cast<double>(1u << depth);
+}
+BENCHMARK(BM_ForkingExploration)->Arg(4)->Arg(8);
+
+/** Straight-line interpretation (no solver involvement). */
+void
+BM_StraightLine(benchmark::State &state)
+{
+    ProgramBuilder b("straight");
+    b.Function("main", {}, 0, [&] {
+        Val acc = b.Local("acc", 32, Val::Const(32, 1));
+        for (int i = 0; i < 200; ++i)
+            b.Assign(acc, acc + Val::Const(32, i));
+        b.Halt();
+    });
+    const Program p = b.Build();
+    for (auto _ : state) {
+        smt::ExprContext ctx;
+        smt::Solver solver(&ctx);
+        Engine engine(&ctx, &solver, &p, Mode::kClient);
+        benchmark::DoNotOptimize(engine.Run().size());
+    }
+}
+BENCHMARK(BM_StraightLine);
+
+/** Symbolic-index array read: ITE chain over `size` cells. */
+void
+BM_SymbolicIndexRead(benchmark::State &state)
+{
+    const uint32_t size = static_cast<uint32_t>(state.range(0));
+    ProgramBuilder b("array");
+    b.Function("main", {}, 0, [&] {
+        b.Array("data", 8, size);
+        Val idx = b.ReadInput("idx", 8);
+        b.Assume(idx < size);
+        Val v = b.Local("v", 8, ProgramBuilder::ArrayAt("data", 8, idx));
+        b.If(v == 0, [&] { b.MarkAccept(); }, [&] { b.MarkReject(); });
+    });
+    const Program p = b.Build();
+    for (auto _ : state) {
+        smt::ExprContext ctx;
+        smt::Solver solver(&ctx);
+        Engine engine(&ctx, &solver, &p, Mode::kServer);
+        engine.SetIncomingMessage({ctx.FreshVar("m", 8)});
+        benchmark::DoNotOptimize(engine.Run().size());
+    }
+}
+BENCHMARK(BM_SymbolicIndexRead)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

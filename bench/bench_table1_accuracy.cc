@@ -1,0 +1,131 @@
+// Achilles reproduction -- Table 1 + Section 6.2 timing breakdown.
+//
+// Reproduces: "Results obtained by Achilles in 1 hour, compared to
+// classic symbolic execution" (Table 1) and the phase breakdown of the
+// FSP accuracy experiment (client predicate 3 min / preprocessing
+// 15 min / server analysis 45 min).
+//
+// Paper reference: Achilles 80 TP / 0 FP; classic SE 80 TP / 7,520 FP.
+// Absolute times differ (our substrate is a DSL interpreter, not S2E on
+// a 16-core Xeon); the shape under test is: both find all 80 known
+// Trojan types, Achilles emits zero false positives, classic SE buries
+// the Trojans in thousands of valid messages.
+
+#include <cstdio>
+#include <set>
+
+#include "baselines/classic_se.h"
+#include "bench/bench_util.h"
+#include "core/achilles.h"
+#include "proto/fsp/fsp_concrete.h"
+#include "proto/fsp/fsp_protocol.h"
+
+using namespace achilles;
+
+int
+main()
+{
+    bench::Header("Table 1 -- Achilles vs classic symbolic execution "
+                  "(FSP, path length < 5)");
+
+    smt::ExprContext ctx;
+    smt::Solver solver(&ctx);
+
+    const std::vector<symexec::Program> clients = fsp::MakeAllClients();
+    const symexec::Program server = fsp::MakeServer();
+
+    // ----- Achilles -----
+    core::AchillesConfig config;
+    config.layout = fsp::MakeLayout();
+    for (const symexec::Program &c : clients)
+        config.clients.push_back(&c);
+    config.server = &server;
+    const core::AchillesResult result =
+        core::RunAchilles(&ctx, &solver, config);
+
+    std::set<fsp::LengthTrojanType> achilles_types;
+    size_t achilles_fp = 0;
+    size_t wildcard_extra = 0;
+    for (const core::TrojanWitness &t : result.server.trojans) {
+        const fsp::Bytes m(t.concrete.begin(), t.concrete.end());
+        if (!fsp::IsTrojan(m)) {
+            ++achilles_fp;
+            continue;
+        }
+        auto type = fsp::ClassifyLengthTrojan(m);
+        if (type.has_value())
+            achilles_types.insert(*type);
+        else
+            ++wildcard_extra;
+    }
+
+    // ----- Classic symbolic execution -----
+    baselines::ClassicSeConfig classic_config;
+    classic_config.enumerate_per_path = 94;  // one per printable char
+    const baselines::ClassicSeResult classic = baselines::RunClassicSe(
+        &ctx, &solver, &server, config.layout, classic_config);
+
+    std::set<fsp::LengthTrojanType> classic_types;
+    size_t classic_fp = 0;
+    for (const auto &m : classic.messages) {
+        if (!fsp::IsTrojan(m)) {
+            ++classic_fp;  // valid message in the output: noise
+            continue;
+        }
+        auto type = fsp::ClassifyLengthTrojan(m);
+        if (type.has_value())
+            classic_types.insert(*type);
+    }
+
+    bench::Section("Table 1 (reproduced)");
+    std::printf("%-28s %14s %24s\n", "", "Achilles",
+                "Classic symbolic exec.");
+    std::printf("%-28s %10zu /80 %20zu /80\n",
+                "True positives (types)", achilles_types.size(),
+                classic_types.size());
+    std::printf("%-28s %14zu %24zu\n", "False positives", achilles_fp,
+                classic_fp);
+    bench::Note("paper: Achilles 80 TP / 0 FP; classic SE 80 TP / "
+                "7,520 FP");
+    bench::Note("classic-SE FP count scales with enumeration depth "
+                "(94/path here); the Trojans are bundled with valid "
+                "messages either way");
+    std::printf("  additional non-length Trojan witnesses (wildcard "
+                "family): %zu\n", wildcard_extra);
+
+    bench::Section("Section 6.2 phase breakdown");
+    std::printf("%-28s %10.3f s   (paper:  3 min of 63)\n",
+                "client predicate", result.timings.client_extraction);
+    std::printf("%-28s %10.3f s   (paper: 15 min of 63)\n",
+                "preprocessing", result.timings.preprocessing);
+    std::printf("%-28s %10.3f s   (paper: 45 min of 63)\n",
+                "server analysis", result.timings.server_analysis);
+    std::printf("%-28s %10.3f s   (paper: ~2 min)\n",
+                "classic SE exploration", classic.exploration_seconds);
+    std::printf("%-28s %10.3f s   (not measured in the paper)\n",
+                "classic SE + enumeration", classic.seconds);
+    bench::Note("shape: server analysis dominates Achilles' time; "
+                "classic SE's raw exploration is faster than Achilles "
+                "but cannot separate Trojans from valid messages");
+
+    bench::Section("internal counters");
+    std::printf("  client path predicates: %zu\n",
+                result.client_predicate.paths.size());
+    std::printf("  exact negations: %zu, approximate: %zu\n",
+                result.negate_stats.exact_predicates,
+                result.negate_stats.approx_predicates);
+    std::printf("  match queries: %lld, trojan queries: %lld, "
+                "states pruned: %lld\n",
+                static_cast<long long>(
+                    result.server.stats.Get("explorer.match_queries")),
+                static_cast<long long>(
+                    result.server.stats.Get("explorer.trojan_queries")),
+                static_cast<long long>(
+                    result.server.stats.Get("explorer.states_pruned")));
+
+    const bool ok = achilles_types.size() == 80 && achilles_fp == 0 &&
+                    classic_fp > achilles_types.size();
+    std::printf("\nRESULT: %s\n", ok ? "PASS (shape reproduced)"
+                                     : "MISMATCH (see numbers above)");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// Achilles reproduction -- benchmark harness helpers.
+//
+// Shared formatting for the per-table/per-figure reproduction binaries.
+// Each binary prints the paper's reference numbers next to the measured
+// ones so the "shape" comparison (who wins, by what factor) is direct.
+
+#ifndef ACHILLES_BENCH_BENCH_UTIL_H_
+#define ACHILLES_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace achilles {
+namespace bench {
+
+inline void
+Header(const std::string &title)
+{
+    std::printf("\n==============================================="
+                "=====================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================"
+                "====================\n");
+}
+
+inline void
+Section(const std::string &name)
+{
+    std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline void
+Note(const std::string &text)
+{
+    std::printf("  # %s\n", text.c_str());
+}
+
+}  // namespace bench
+}  // namespace achilles
+
+#endif  // ACHILLES_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,97 @@
+// Achilles reproduction -- baselines.
+//
+// Black-box fuzzing baseline (paper Section 6.2): generate random
+// messages, run them against the concrete server oracle, and count how
+// many accepted / Trojan messages turn up. The paper's comparison is
+// deliberately generous to the fuzzer -- it fuzzes only the same bytes
+// Achilles analyzes -- and fuzzing still loses by orders of magnitude.
+
+#ifndef ACHILLES_BASELINES_FUZZER_H_
+#define ACHILLES_BASELINES_FUZZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/timer.h"
+
+namespace achilles {
+namespace baselines {
+
+/** Outcome of a fuzzing campaign. */
+struct FuzzResult
+{
+    uint64_t tests = 0;
+    uint64_t accepted = 0;       ///< accepted by the server
+    uint64_t trojans = 0;        ///< accepted and not client-generatable
+    uint64_t false_positives = 0;///< accepted but not Trojan ("noise")
+    double seconds = 0.0;
+
+    double
+    TestsPerMinute() const
+    {
+        return seconds <= 0.0 ? 0.0 : tests / (seconds / 60.0);
+    }
+};
+
+/** Fuzzing campaign driver. */
+class Fuzzer
+{
+  public:
+    /** Produce the next random message. */
+    using Generator = std::function<std::vector<uint8_t>(Rng *)>;
+    /** Server acceptance oracle. */
+    using Oracle = std::function<bool(const std::vector<uint8_t> &)>;
+
+    Fuzzer(Generator generator, Oracle accepts, Oracle is_trojan,
+           uint64_t seed = 1)
+        : generator_(std::move(generator)), accepts_(std::move(accepts)),
+          is_trojan_(std::move(is_trojan)), rng_(seed)
+    {
+    }
+
+    /** Run `num_tests` random tests. */
+    FuzzResult
+    Run(uint64_t num_tests)
+    {
+        FuzzResult result;
+        Timer timer;
+        for (uint64_t i = 0; i < num_tests; ++i) {
+            const std::vector<uint8_t> msg = generator_(&rng_);
+            ++result.tests;
+            if (!accepts_(msg))
+                continue;
+            ++result.accepted;
+            if (is_trojan_(msg))
+                ++result.trojans;
+            else
+                ++result.false_positives;
+        }
+        result.seconds = timer.Seconds();
+        return result;
+    }
+
+  private:
+    Generator generator_;
+    Oracle accepts_;
+    Oracle is_trojan_;
+    Rng rng_;
+};
+
+/**
+ * Analytical expectation: with `trojan_count` Trojans in a space of
+ * `space_size` messages, the expected number of Trojans found by N
+ * uniform random tests.
+ */
+inline double
+ExpectedTrojansFound(double trojan_count, double space_size,
+                     double num_tests)
+{
+    return num_tests * (trojan_count / space_size);
+}
+
+}  // namespace baselines
+}  // namespace achilles
+
+#endif  // ACHILLES_BASELINES_FUZZER_H_

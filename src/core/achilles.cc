@@ -1,0 +1,63 @@
+// Achilles reproduction -- core library.
+
+#include "core/achilles.h"
+
+#include "support/timer.h"
+
+namespace achilles {
+namespace core {
+
+AchillesResult
+RunAchilles(smt::ExprContext *ctx, smt::Solver *solver,
+            const AchillesConfig &config)
+{
+    ACHILLES_CHECK(config.server != nullptr, "no server program");
+    ACHILLES_CHECK(!config.clients.empty(), "no client programs");
+
+    AchillesResult result;
+    Timer timer;
+
+    // Phase 1: client predicate extraction.
+    result.client_predicate = ExtractClientPredicate(
+        ctx, solver, config.clients, config.layout, config.client_config);
+    result.timings.client_extraction = timer.Seconds();
+
+    // Preprocessing: negations + differentFrom. The negate operator
+    // needs the server's symbolic message up front, so the explorer is
+    // constructed here (it creates the message variables) and the
+    // negations are computed against it.
+    timer.Reset();
+    DifferentFromMatrix different_from(ctx, solver, &config.layout);
+    // The server's symbolic message variables are created here and shared
+    // between the negate operator (negations must constrain the same
+    // variables the server paths do) and the explorer.
+    std::vector<smt::ExprRef> server_message;
+    for (uint32_t i = 0; i < config.layout.length(); ++i)
+        server_message.push_back(ctx->FreshVar("msg", 8));
+
+    NegateOperator negate_op(ctx, solver, &config.layout, server_message);
+    result.negations.reserve(result.client_predicate.paths.size());
+    for (const ClientPathPredicate &pred : result.client_predicate.paths)
+        result.negations.push_back(negate_op.Negate(pred));
+
+    if (config.compute_different_from &&
+        config.server_config.use_different_from) {
+        different_from.Compute(result.client_predicate.paths, &negate_op);
+        result.preprocessing_stats.Merge(different_from.stats());
+    }
+    result.negate_stats = negate_op.stats();
+    result.timings.preprocessing = timer.Seconds();
+
+    // Phase 2: server analysis.
+    timer.Reset();
+    ServerExplorer explorer(ctx, solver, config.server, &config.layout,
+                            &result.client_predicate.paths,
+                            &result.negations, &different_from,
+                            config.server_config, server_message);
+    result.server = explorer.Run();
+    result.timings.server_analysis = timer.Seconds();
+    return result;
+}
+
+}  // namespace core
+}  // namespace achilles

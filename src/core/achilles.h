@@ -1,0 +1,70 @@
+// Achilles reproduction -- core library.
+//
+// The public facade: configure a client/server pair plus a message
+// layout, call RunAchilles(), get Trojan witnesses with per-phase
+// timings. This mirrors the two-phase pipeline of the paper:
+//
+//   phase 1: extract the client predicate PC       (ExtractClientPredicate)
+//   preprocessing: negate PC, compute differentFrom (NegateOperator /
+//                                                    DifferentFromMatrix)
+//   phase 2: explore the server, compute Trojans    (ServerExplorer)
+
+#ifndef ACHILLES_CORE_ACHILLES_H_
+#define ACHILLES_CORE_ACHILLES_H_
+
+#include <vector>
+
+#include "core/client_extractor.h"
+#include "core/different_from.h"
+#include "core/message.h"
+#include "core/negate.h"
+#include "core/server_explorer.h"
+#include "smt/solver.h"
+#include "symexec/program.h"
+
+namespace achilles {
+namespace core {
+
+/** Full-pipeline configuration. */
+struct AchillesConfig
+{
+    MessageLayout layout;
+    std::vector<const symexec::Program *> clients;
+    const symexec::Program *server = nullptr;
+    ClientExtractorConfig client_config;
+    ServerExplorerConfig server_config;
+    /** Compute the differentFrom matrix (preprocessing, 3.3 opt 2). */
+    bool compute_different_from = true;
+};
+
+/** Wall-clock seconds per pipeline phase (paper Section 6.2 breakdown). */
+struct PhaseTimings
+{
+    double client_extraction = 0.0;
+    double preprocessing = 0.0;
+    double server_analysis = 0.0;
+    double Total() const
+    {
+        return client_extraction + preprocessing + server_analysis;
+    }
+};
+
+/** Full-pipeline result. */
+struct AchillesResult
+{
+    ClientPredicate client_predicate;
+    std::vector<NegatedPredicate> negations;
+    ServerAnalysis server;
+    PhaseTimings timings;
+    NegateStats negate_stats;
+    StatsRegistry preprocessing_stats;
+};
+
+/** Run the complete Achilles pipeline. */
+AchillesResult RunAchilles(smt::ExprContext *ctx, smt::Solver *solver,
+                           const AchillesConfig &config);
+
+}  // namespace core
+}  // namespace achilles
+
+#endif  // ACHILLES_CORE_ACHILLES_H_

@@ -1,0 +1,61 @@
+// Achilles reproduction -- core library.
+
+#include "core/client_extractor.h"
+
+#include <unordered_set>
+
+namespace achilles {
+namespace core {
+
+ClientPredicate
+ExtractClientPredicate(smt::ExprContext *ctx, smt::Solver *solver,
+                       const std::vector<const symexec::Program *> &clients,
+                       const MessageLayout &layout,
+                       const ClientExtractorConfig &config)
+{
+    ClientPredicate out;
+    CanonicalHasher hasher(ctx);
+    std::unordered_set<uint64_t> seen;
+    uint64_t next_id = 0;
+
+    for (const symexec::Program *client : clients) {
+        symexec::Engine engine(ctx, solver, client, symexec::Mode::kClient,
+                               config.engine);
+        const std::vector<symexec::PathResult> paths = engine.Run();
+        out.stats.Merge(engine.stats());
+        for (const symexec::PathResult &path : paths) {
+            if (path.outcome != symexec::PathOutcome::kClientDone)
+                continue;
+            for (const symexec::SentMessage &msg : path.sent) {
+                if (msg.bytes.size() < layout.length()) {
+                    out.stats.Bump("client.short_messages_skipped");
+                    continue;
+                }
+                ClientPathPredicate pred;
+                pred.id = next_id;
+                pred.origin = client->name;
+                pred.bytes = msg.bytes;
+                pred.constraints = path.constraints;
+
+                if (config.deduplicate) {
+                    std::vector<smt::ExprRef> key = pred.bytes;
+                    key.insert(key.end(), pred.constraints.begin(),
+                               pred.constraints.end());
+                    const uint64_t h = hasher.HashExprs(key);
+                    if (!seen.insert(h).second) {
+                        out.stats.Bump("client.duplicate_predicates");
+                        continue;
+                    }
+                }
+                ++next_id;
+                out.paths.push_back(std::move(pred));
+            }
+        }
+    }
+    out.stats.Set("client.predicates",
+                  static_cast<int64_t>(out.paths.size()));
+    return out;
+}
+
+}  // namespace core
+}  // namespace achilles

@@ -1,0 +1,50 @@
+// Achilles reproduction -- core library.
+//
+// Phase 1 of Achilles: extract the client predicate PC by symbolically
+// executing each client program in a symbolic environment (all local
+// inputs intercepted and replaced by symbolic data) and capturing the
+// message sent on every path, together with the path constraints
+// (paper Section 3.1, "Client Predicate").
+
+#ifndef ACHILLES_CORE_CLIENT_EXTRACTOR_H_
+#define ACHILLES_CORE_CLIENT_EXTRACTOR_H_
+
+#include <vector>
+
+#include "core/message.h"
+#include "core/path_predicate.h"
+#include "smt/solver.h"
+#include "support/stats.h"
+#include "symexec/engine.h"
+
+namespace achilles {
+namespace core {
+
+/** Options for client predicate extraction. */
+struct ClientExtractorConfig
+{
+    symexec::EngineConfig engine;
+    /** Drop structurally duplicate predicates (alpha-renamed). */
+    bool deduplicate = true;
+};
+
+/** Result of the extraction phase. */
+struct ClientPredicate
+{
+    std::vector<ClientPathPredicate> paths;
+    StatsRegistry stats;
+};
+
+/**
+ * Run every client program symbolically and collect one
+ * ClientPathPredicate per (path, sent message).
+ */
+ClientPredicate ExtractClientPredicate(
+    smt::ExprContext *ctx, smt::Solver *solver,
+    const std::vector<const symexec::Program *> &clients,
+    const MessageLayout &layout, const ClientExtractorConfig &config = {});
+
+}  // namespace core
+}  // namespace achilles
+
+#endif  // ACHILLES_CORE_CLIENT_EXTRACTOR_H_

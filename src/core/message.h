@@ -1,0 +1,131 @@
+// Achilles reproduction -- core library.
+//
+// Message layout descriptions. Achilles reasons about messages field by
+// field: the negate operator produces per-field negations, the
+// differentFrom matrix is indexed by field, and masks hide fields from
+// the Trojan analysis (paper Section 5.2). A MessageLayout names the
+// byte ranges of a protocol's message fields.
+
+#ifndef ACHILLES_CORE_MESSAGE_H_
+#define ACHILLES_CORE_MESSAGE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "smt/expr.h"
+#include "support/logging.h"
+
+namespace achilles {
+namespace core {
+
+/** One named field: a byte range inside the message buffer. */
+struct FieldSpec
+{
+    std::string name;
+    uint32_t offset = 0;  ///< first byte
+    uint32_t size = 1;    ///< size in bytes (1..8)
+};
+
+/**
+ * Byte-level layout of a protocol message.
+ *
+ * Multi-byte fields are little-endian (byte `offset` is the least
+ * significant); this only affects how field values are rendered, not
+ * what the analysis can express.
+ */
+class MessageLayout
+{
+  public:
+    MessageLayout() = default;
+    explicit MessageLayout(uint32_t length) : length_(length) {}
+
+    /** Append a field at the given offset. */
+    MessageLayout &
+    AddField(const std::string &name, uint32_t offset, uint32_t size)
+    {
+        ACHILLES_CHECK(size >= 1 && size <= 8, "field size out of range");
+        ACHILLES_CHECK(offset + size <= length_, "field ", name,
+                       " exceeds message length");
+        fields_.push_back(FieldSpec{name, offset, size});
+        return *this;
+    }
+
+    /**
+     * Hide a field from the Trojan analysis (the paper's mask): its
+     * negations are not generated and it is skipped in differentFrom.
+     */
+    MessageLayout &
+    Mask(const std::string &name)
+    {
+        ACHILLES_CHECK(Find(name) != nullptr, "masking unknown field ",
+                       name);
+        masked_.insert(name);
+        return *this;
+    }
+
+    uint32_t length() const { return length_; }
+    const std::vector<FieldSpec> &fields() const { return fields_; }
+    bool IsMasked(const std::string &name) const
+    {
+        return masked_.count(name) != 0;
+    }
+
+    const FieldSpec *
+    Find(const std::string &name) const
+    {
+        for (const auto &f : fields_)
+            if (f.name == name)
+                return &f;
+        return nullptr;
+    }
+
+    /** Fields participating in the analysis (unmasked), in order. */
+    std::vector<FieldSpec>
+    AnalyzedFields() const
+    {
+        std::vector<FieldSpec> out;
+        for (const auto &f : fields_)
+            if (!IsMasked(f.name))
+                out.push_back(f);
+        return out;
+    }
+
+    /**
+     * Build the field's value expression from a message byte vector
+     * (little-endian concat).
+     */
+    smt::ExprRef
+    FieldExpr(smt::ExprContext *ctx,
+              const std::vector<smt::ExprRef> &bytes,
+              const FieldSpec &field) const
+    {
+        ACHILLES_CHECK(field.offset + field.size <= bytes.size(),
+                       "message shorter than field ", field.name);
+        smt::ExprRef value = bytes[field.offset];
+        for (uint32_t i = 1; i < field.size; ++i)
+            value = ctx->MakeConcat(bytes[field.offset + i], value);
+        return value;
+    }
+
+    /** Field (if any) covering the given byte offset. */
+    const FieldSpec *
+    FieldAtByte(uint32_t byte_offset) const
+    {
+        for (const auto &f : fields_) {
+            if (byte_offset >= f.offset && byte_offset < f.offset + f.size)
+                return &f;
+        }
+        return nullptr;
+    }
+
+  private:
+    uint32_t length_ = 0;
+    std::vector<FieldSpec> fields_;
+    std::set<std::string> masked_;
+};
+
+}  // namespace core
+}  // namespace achilles
+
+#endif  // ACHILLES_CORE_MESSAGE_H_

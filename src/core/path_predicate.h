@@ -1,0 +1,98 @@
+// Achilles reproduction -- core library.
+//
+// Client path predicates (paper Section 3.1): one per client execution
+// path that sends a message -- the symbolic message buffer plus the path
+// constraints under which it is sent. The client predicate PC is the
+// disjunction of all of them.
+//
+// Also provides canonical hashing of (expression, constraints) pairs up
+// to variable renaming. Every client path allocates fresh symbolic input
+// variables, so two paths that send structurally identical messages
+// differ only in variable ids; canonical hashing lets the preprocessing
+// phase group such value-classes without solver calls.
+
+#ifndef ACHILLES_CORE_PATH_PREDICATE_H_
+#define ACHILLES_CORE_PATH_PREDICATE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/expr.h"
+
+namespace achilles {
+namespace core {
+
+/** One client execution path's message and constraints. */
+struct ClientPathPredicate
+{
+    uint64_t id = 0;
+    /** Which client utility / program produced this path. */
+    std::string origin;
+    /** Symbolic message bytes (expressions over client input vars). */
+    std::vector<smt::ExprRef> bytes;
+    /** Path constraints under which the message is sent. */
+    std::vector<smt::ExprRef> constraints;
+};
+
+/**
+ * Order-insensitive, alpha-renaming-insensitive structural hash of an
+ * expression list. Used to deduplicate client path predicates and to
+ * group field value-classes for the differentFrom precomputation.
+ */
+class CanonicalHasher
+{
+  public:
+    explicit CanonicalHasher(const smt::ExprContext *ctx) : ctx_(ctx) {}
+
+    /**
+     * Hash a set of expressions, renaming variables to de-Bruijn-style
+     * indices in first-visit order. The expressions are visited in the
+     * given order (callers must present them deterministically).
+     */
+    uint64_t
+    HashExprs(const std::vector<smt::ExprRef> &exprs)
+    {
+        var_rename_.clear();
+        uint64_t h = 0x2545f4914f6cdd1dull;
+        for (smt::ExprRef e : exprs)
+            h = Mix(h, HashNode(e));
+        return h;
+    }
+
+  private:
+    uint64_t
+    HashNode(smt::ExprRef e)
+    {
+        // Per-expression memo is invalid across calls because the
+        // renaming depends on visit order; keep it simple and rehash.
+        uint64_t h = Mix(static_cast<uint64_t>(e->kind()), e->width());
+        if (e->IsVar()) {
+            auto [it, inserted] = var_rename_.emplace(
+                e->VarId(), static_cast<uint32_t>(var_rename_.size()));
+            h = Mix(h, it->second);
+            return h;
+        }
+        h = Mix(h, e->aux());
+        for (smt::ExprRef kid : e->kids())
+            h = Mix(h, HashNode(kid));
+        return h;
+    }
+
+    static uint64_t
+    Mix(uint64_t a, uint64_t b)
+    {
+        uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+        x *= 0xff51afd7ed558ccdull;
+        x ^= x >> 33;
+        return x;
+    }
+
+    const smt::ExprContext *ctx_;
+    std::unordered_map<uint32_t, uint32_t> var_rename_;
+};
+
+}  // namespace core
+}  // namespace achilles
+
+#endif  // ACHILLES_CORE_PATH_PREDICATE_H_

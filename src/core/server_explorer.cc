@@ -1,0 +1,304 @@
+// Achilles reproduction -- core library.
+
+#include "core/server_explorer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "smt/eval.h"
+
+namespace achilles {
+namespace core {
+
+/** Per-state payload: indices of client predicates still matching. */
+struct ServerExplorer::LiveSet : public symexec::StateUserData
+{
+    std::vector<uint32_t> live;
+
+    std::unique_ptr<symexec::StateUserData>
+    Clone() const override
+    {
+        auto copy = std::make_unique<LiveSet>();
+        copy->live = live;
+        return copy;
+    }
+};
+
+ServerExplorer::ServerExplorer(
+    smt::ExprContext *ctx, smt::Solver *solver,
+    const symexec::Program *server, const MessageLayout *layout,
+    const std::vector<ClientPathPredicate> *preds,
+    const std::vector<NegatedPredicate> *negations,
+    const DifferentFromMatrix *different_from, ServerExplorerConfig config,
+    std::vector<smt::ExprRef> message)
+    : ctx_(ctx), solver_(solver), server_(server), layout_(layout),
+      preds_(preds), negations_(negations), different_from_(different_from),
+      config_(config), message_(std::move(message))
+{
+    ACHILLES_CHECK(preds_->size() == negations_->size(),
+                   "negations out of sync with predicates");
+
+    // The symbolic message the server is analyzed on. Every path
+    // constrains these same variables; when negations were precomputed,
+    // the caller passes the variables they were computed against.
+    if (message_.empty()) {
+        message_.reserve(layout_->length());
+        for (uint32_t i = 0; i < layout_->length(); ++i)
+            message_.push_back(ctx_->FreshVar("msg", 8));
+    }
+    ACHILLES_CHECK(message_.size() >= layout_->length(),
+                   "message shorter than layout");
+    for (uint32_t i = 0; i < message_.size(); ++i) {
+        ACHILLES_CHECK(message_[i]->IsVar(),
+                       "server message bytes must be variables");
+        var_to_offset_.emplace(message_[i]->VarId(), i);
+    }
+
+    // Which byte offsets participate in the analysis (unmasked fields).
+    std::vector<bool> analyzed_byte(layout_->length(), false);
+    for (const FieldSpec &f : layout_->AnalyzedFields())
+        for (uint32_t k = 0; k < f.size; ++k)
+            analyzed_byte[f.offset + k] = true;
+
+    // Pre-build, per client path predicate, the conjunction stating
+    // "this server message is one of the predicate's messages":
+    // byte equalities over analyzed bytes plus the client constraints.
+    match_.resize(preds_->size());
+    negation_exprs_.resize(preds_->size());
+    for (size_t i = 0; i < preds_->size(); ++i) {
+        const ClientPathPredicate &pred = (*preds_)[i];
+        for (uint32_t k = 0; k < layout_->length(); ++k) {
+            if (!analyzed_byte[k])
+                continue;
+            match_[i].push_back(
+                ctx_->MakeEq(message_[k], pred.bytes[k]));
+        }
+        for (smt::ExprRef c : pred.constraints)
+            match_[i].push_back(c);
+        negation_exprs_[i] = (*negations_)[i].Usable()
+                                 ? (*negations_)[i].Disjunction(ctx_)
+                                 : nullptr;
+    }
+}
+
+ServerExplorer::LiveSet *
+ServerExplorer::GetLiveSet(symexec::State &state)
+{
+    auto *data = dynamic_cast<LiveSet *>(state.user_data());
+    if (data == nullptr) {
+        auto fresh = std::make_unique<LiveSet>();
+        fresh->live.resize(preds_->size());
+        for (size_t i = 0; i < preds_->size(); ++i)
+            fresh->live[i] = static_cast<uint32_t>(i);
+        data = fresh.get();
+        state.SetUserData(std::move(fresh));
+    }
+    return data;
+}
+
+bool
+ServerExplorer::PredicateMatches(const symexec::State &state, size_t i)
+{
+    std::vector<smt::ExprRef> query = state.constraints();
+    query.insert(query.end(), match_[i].begin(), match_[i].end());
+    analysis_.stats.Bump("explorer.match_queries");
+    return solver_->CheckSat(query) != smt::CheckResult::kUnsat;
+}
+
+smt::CheckResult
+ServerExplorer::TrojanQuery(
+    const std::vector<smt::ExprRef> &path_constraints,
+    const std::vector<uint32_t> &live, smt::Model *model)
+{
+    std::vector<smt::ExprRef> query = path_constraints;
+    for (uint32_t i : live) {
+        if (negation_exprs_[i] == nullptr) {
+            // An un-negatable live predicate blocks the whole query: we
+            // cannot certify any message as outside its value set.
+            analysis_.stats.Bump("explorer.blocked_by_unusable_negation");
+            return smt::CheckResult::kUnsat;
+        }
+        query.push_back(negation_exprs_[i]);
+    }
+    analysis_.stats.Bump("explorer.trojan_queries");
+    return solver_->CheckSat(query, model);
+}
+
+std::vector<std::string>
+ServerExplorer::TouchedFields(smt::ExprRef e) const
+{
+    std::unordered_set<uint32_t> vars;
+    ctx_->CollectVars(e, &vars);
+    std::vector<std::string> fields;
+    for (uint32_t v : vars) {
+        auto it = var_to_offset_.find(v);
+        if (it == var_to_offset_.end())
+            continue;
+        const FieldSpec *f = layout_->FieldAtByte(it->second);
+        if (f == nullptr)
+            continue;
+        if (std::find(fields.begin(), fields.end(), f->name) ==
+            fields.end())
+            fields.push_back(f->name);
+    }
+    return fields;
+}
+
+bool
+ServerExplorer::OnBranch(symexec::State &state, smt::ExprRef constraint)
+{
+    if (config_.mode == SearchMode::kAPosteriori)
+        return true;
+
+    LiveSet *data = GetLiveSet(state);
+
+    // Only constraints over the message can change which client
+    // predicates match (skipping others is conservative: we merely keep
+    // predicates live longer).
+    const std::vector<std::string> fields = TouchedFields(constraint);
+    if (!fields.empty() && config_.drop_client_predicates) {
+        const bool single_independent_field =
+            config_.use_different_from && fields.size() == 1 &&
+            different_from_ != nullptr &&
+            different_from_->IsIndependentField(fields[0]);
+
+        std::vector<uint32_t> survivors;
+        survivors.reserve(data->live.size());
+        std::vector<uint8_t> decided(preds_->size(), 0);  // 1=drop, 2=keep
+        for (uint32_t i : data->live) {
+            if (decided[i] == 1) {
+                analysis_.stats.Bump("explorer.difffrom_drops");
+                continue;
+            }
+            if (decided[i] == 2) {
+                survivors.push_back(i);
+                continue;
+            }
+            if (PredicateMatches(state, i)) {
+                survivors.push_back(i);
+                decided[i] = 2;
+                continue;
+            }
+            decided[i] = 1;
+            analysis_.stats.Bump("explorer.predicate_drops");
+            if (single_independent_field) {
+                // Everything in i's value class (and any j that has no
+                // extra values for this field) dies with i.
+                for (uint32_t j : data->live) {
+                    if (decided[j] == 0 &&
+                        !different_from_->Different(j, i, fields[0])) {
+                        decided[j] = 1;
+                    }
+                }
+            }
+        }
+        data->live = std::move(survivors);
+    }
+
+    analysis_.live_samples.push_back(
+        LiveSetSample{state.depth(), data->live.size()});
+
+    if (config_.prune_trojan_free_states) {
+        const smt::CheckResult r =
+            TrojanQuery(state.constraints(), data->live, nullptr);
+        if (r == smt::CheckResult::kUnsat) {
+            analysis_.stats.Bump("explorer.states_pruned");
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+ServerExplorer::EmitTrojan(const symexec::State &state,
+                           const std::vector<uint32_t> &live)
+{
+    smt::Model model;
+    const smt::CheckResult r =
+        TrojanQuery(state.constraints(), live, &model);
+    if (r != smt::CheckResult::kSat) {
+        analysis_.stats.Bump("explorer.accepting_without_trojans");
+        return;
+    }
+    TrojanWitness witness;
+    witness.server_path_id = state.id();
+    witness.accept_label = state.accept_label;
+    witness.definition = state.constraints();
+    for (uint32_t i : live)
+        witness.definition.push_back(negation_exprs_[i]);
+    witness.concrete.reserve(message_.size());
+    for (smt::ExprRef byte : message_) {
+        witness.concrete.push_back(
+            static_cast<uint8_t>(smt::Evaluate(byte, model)));
+        witness.message_vars.push_back(byte->VarId());
+    }
+    witness.bundled_with_valid = !live.empty();
+    witness.discovered_at_seconds = timer_.Seconds();
+    witness.path_depth = state.depth();
+    analysis_.trojans.push_back(std::move(witness));
+    analysis_.stats.Bump("explorer.trojans");
+}
+
+void
+ServerExplorer::OnAccept(symexec::State &state)
+{
+    if (config_.mode == SearchMode::kAPosteriori)
+        return;
+    LiveSet *data = GetLiveSet(state);
+    EmitTrojan(state, data->live);
+}
+
+ServerAnalysis
+ServerExplorer::Run()
+{
+    timer_.Reset();
+    symexec::Engine engine(ctx_, solver_, server_, symexec::Mode::kServer,
+                           config_.engine);
+    engine.SetIncomingMessage(message_);
+    engine.SetListener(this);
+    std::vector<symexec::PathResult> paths = engine.Run();
+    analysis_.stats.Merge(engine.stats());
+
+    for (symexec::PathResult &path : paths) {
+        if (path.outcome == symexec::PathOutcome::kAccepted)
+            analysis_.accepting_paths.push_back(path);
+    }
+
+    if (config_.mode == SearchMode::kAPosteriori) {
+        // Differencing after the fact: conjoin every predicate's
+        // negation on each accepting path.
+        std::vector<uint32_t> all(preds_->size());
+        for (size_t i = 0; i < all.size(); ++i)
+            all[i] = static_cast<uint32_t>(i);
+        for (const symexec::PathResult &path : analysis_.accepting_paths) {
+            smt::Model model;
+            if (TrojanQuery(path.constraints, all, &model) !=
+                smt::CheckResult::kSat) {
+                continue;
+            }
+            TrojanWitness witness;
+            witness.server_path_id = path.state_id;
+            witness.accept_label = path.accept_label;
+            witness.definition = path.constraints;
+            for (uint32_t i : all)
+                if (negation_exprs_[i] != nullptr)
+                    witness.definition.push_back(negation_exprs_[i]);
+            for (smt::ExprRef byte : message_) {
+                witness.concrete.push_back(
+                    static_cast<uint8_t>(smt::Evaluate(byte, model)));
+                witness.message_vars.push_back(byte->VarId());
+            }
+            witness.bundled_with_valid = true;  // not tracked in this mode
+            witness.discovered_at_seconds = timer_.Seconds();
+            witness.path_depth = path.depth;
+            analysis_.trojans.push_back(std::move(witness));
+            analysis_.stats.Bump("explorer.trojans");
+        }
+    }
+
+    analysis_.seconds = timer_.Seconds();
+    return std::move(analysis_);
+}
+
+}  // namespace core
+}  // namespace achilles

@@ -1,0 +1,187 @@
+// Achilles reproduction -- core library.
+//
+// Phase 2 of Achilles: explore the server on an unconstrained symbolic
+// message while incrementally searching for Trojan messages (paper
+// Sections 3.2-3.3, Figure 7).
+//
+// For every execution state the explorer tracks the set of client path
+// predicates whose messages can still trigger it. At each symbolic
+// branch it:
+//   1. re-checks which client predicates still match (dropping the rest,
+//      transitively via the differentFrom matrix for independent-field
+//      branches), and
+//   2. checks whether the state can still be triggered by any Trojan
+//      message (pathS ∧ negate(pathC_i) for the still-live i); if not,
+//      the state is pruned from the exploration.
+// When a state reaches accepting classification, the Trojan query is
+// satisfiable by construction; its model is emitted as a concrete Trojan
+// witness together with the defining symbolic expression.
+
+#ifndef ACHILLES_CORE_SERVER_EXPLORER_H_
+#define ACHILLES_CORE_SERVER_EXPLORER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/different_from.h"
+#include "core/message.h"
+#include "core/negate.h"
+#include "core/path_predicate.h"
+#include "smt/solver.h"
+#include "support/stats.h"
+#include "support/timer.h"
+#include "symexec/engine.h"
+
+namespace achilles {
+namespace core {
+
+/** How Trojan messages are computed relative to the exploration. */
+enum class SearchMode : uint8_t
+{
+    /** The paper's Achilles: incremental checks + pruning during the
+     *  server exploration. */
+    kIncremental,
+    /** Section 6.4 baseline: plain symbolic execution first, Trojan
+     *  differencing a posteriori on every accepting path. */
+    kAPosteriori,
+};
+
+/** Explorer tunables (each optimization can be ablated independently). */
+struct ServerExplorerConfig
+{
+    symexec::EngineConfig engine;
+    SearchMode mode = SearchMode::kIncremental;
+    /** Drop client predicates that stop matching a state (3.3, opt 1). */
+    bool drop_client_predicates = true;
+    /** Use the differentFrom matrix on independent-field branches
+     *  (3.3, opt 2). */
+    bool use_different_from = true;
+    /** Prune states that no Trojan message can trigger (3.2). */
+    bool prune_trojan_free_states = true;
+};
+
+/** A discovered Trojan message. */
+struct TrojanWitness
+{
+    /** Id of the server path (engine state) that accepts it. */
+    uint64_t server_path_id = 0;
+    /** Label of the accept marker (or "" for the default rule). */
+    std::string accept_label;
+    /** Defining constraint set: server path condition + negations. */
+    std::vector<smt::ExprRef> definition;
+    /** A concrete example message (paper: emitted for fault injection). */
+    std::vector<uint8_t> concrete;
+    /** Variable ids of the message bytes the definition constrains
+     *  (index == byte offset); lets callers re-solve the definition
+     *  with extra pins or enumerate further Trojans. */
+    std::vector<uint32_t> message_vars;
+    /** True when valid (client-generatable) messages share this server
+     *  path -- Figure 7's "bundled" case. */
+    bool bundled_with_valid = false;
+    /** Seconds into server analysis when this witness was produced. */
+    double discovered_at_seconds = 0.0;
+    /** Symbolic branch depth of the accepting path. */
+    size_t path_depth = 0;
+};
+
+/** One (path length, live predicate count) sample for Figure 11. */
+struct LiveSetSample
+{
+    size_t path_length = 0;
+    size_t live_predicates = 0;
+};
+
+/** Result of the server analysis phase. */
+struct ServerAnalysis
+{
+    std::vector<TrojanWitness> trojans;
+    /** All accepting paths (for the classic-SE comparison). */
+    std::vector<symexec::PathResult> accepting_paths;
+    std::vector<LiveSetSample> live_samples;
+    StatsRegistry stats;
+    double seconds = 0.0;
+};
+
+/**
+ * The server exploration + Trojan search driver.
+ *
+ * Usage: construct with the preprocessed client predicate data, then
+ * Run(). The same instance is not reusable.
+ */
+class ServerExplorer : public symexec::Listener
+{
+  public:
+    /**
+     * `message` must be the same symbolic byte variables the negations
+     * were computed against (NegateOperator's server message); if empty,
+     * fresh variables are created (only valid when `negations` is empty
+     * or was produced for those variables).
+     */
+    ServerExplorer(smt::ExprContext *ctx, smt::Solver *solver,
+                   const symexec::Program *server,
+                   const MessageLayout *layout,
+                   const std::vector<ClientPathPredicate> *preds,
+                   const std::vector<NegatedPredicate> *negations,
+                   const DifferentFromMatrix *different_from,
+                   ServerExplorerConfig config = {},
+                   std::vector<smt::ExprRef> message = {});
+
+    /** Run the analysis to completion. */
+    ServerAnalysis Run();
+
+    /** The symbolic message byte variables the server is analyzed on. */
+    const std::vector<smt::ExprRef> &message_bytes() const
+    {
+        return message_;
+    }
+
+    // symexec::Listener interface.
+    bool OnBranch(symexec::State &state, smt::ExprRef constraint) override;
+    void OnAccept(symexec::State &state) override;
+
+  private:
+    struct LiveSet;
+
+    /** Live-set of a state, creating the full set on first touch. */
+    LiveSet *GetLiveSet(symexec::State &state);
+
+    /** Combined query: state constraints + client predicate i matches. */
+    bool PredicateMatches(const symexec::State &state, size_t i);
+
+    /** Trojan query for a state; fills the model when sat. */
+    smt::CheckResult TrojanQuery(
+        const std::vector<smt::ExprRef> &path_constraints,
+        const std::vector<uint32_t> &live, smt::Model *model);
+
+    /** Fields constrained by an expression (via message byte vars). */
+    std::vector<std::string> TouchedFields(smt::ExprRef e) const;
+
+    void EmitTrojan(const symexec::State &state,
+                    const std::vector<uint32_t> &live);
+
+    smt::ExprContext *ctx_;
+    smt::Solver *solver_;
+    const symexec::Program *server_;
+    const MessageLayout *layout_;
+    const std::vector<ClientPathPredicate> *preds_;
+    const std::vector<NegatedPredicate> *negations_;
+    const DifferentFromMatrix *different_from_;
+    ServerExplorerConfig config_;
+
+    std::vector<smt::ExprRef> message_;
+    /** var id -> byte offset in the message. */
+    std::unordered_map<uint32_t, uint32_t> var_to_offset_;
+    /** Per predicate: match conjunction (byte equalities + client pcs). */
+    std::vector<std::vector<smt::ExprRef>> match_;
+    /** Per predicate: negation disjunction expr (null if unusable). */
+    std::vector<smt::ExprRef> negation_exprs_;
+
+    ServerAnalysis analysis_;
+    Timer timer_;
+};
+
+}  // namespace core
+}  // namespace achilles
+
+#endif  // ACHILLES_CORE_SERVER_EXPLORER_H_

@@ -1,0 +1,303 @@
+// Achilles reproduction -- FSP substrate.
+
+#include "proto/fsp/fsp_concrete.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace achilles {
+namespace fsp {
+
+namespace {
+
+bool
+IsKnownCommand(uint8_t cmd)
+{
+    for (const Utility &u : Utilities())
+        if (u.cmd == cmd)
+            return true;
+    return false;
+}
+
+bool
+IsPrintable(uint8_t c)
+{
+    return c >= kPrintableMin && c <= kPrintableMax;
+}
+
+uint16_t
+ReadLen(const Bytes &msg)
+{
+    return static_cast<uint16_t>(msg[kOffLen]) |
+           (static_cast<uint16_t>(msg[kOffLen + 1]) << 8);
+}
+
+/** Path bytes up to the first NUL within bb_len. */
+std::string
+EffectivePath(const Bytes &msg)
+{
+    const uint16_t len = std::min<uint16_t>(ReadLen(msg), kMaxPath);
+    std::string path;
+    for (uint16_t i = 0; i < len; ++i) {
+        const uint8_t c = msg[kOffBuf + i];
+        if (c == 0)
+            break;
+        path.push_back(static_cast<char>(c));
+    }
+    return path;
+}
+
+}  // namespace
+
+Bytes
+EncodeMessage(Command cmd, const std::string &path)
+{
+    return EncodeRawMessage(cmd, static_cast<uint16_t>(path.size()), path);
+}
+
+Bytes
+EncodeRawMessage(uint8_t cmd, uint16_t bb_len, const std::string &buf)
+{
+    Bytes msg(kMessageLength, 0);
+    msg[kOffCmd] = cmd;
+    msg[kOffSum] = kSumConst;
+    msg[kOffKey] = kKeyConst & 0xff;
+    msg[kOffKey + 1] = (kKeyConst >> 8) & 0xff;
+    msg[kOffSeq] = kSeqConst & 0xff;
+    msg[kOffSeq + 1] = (kSeqConst >> 8) & 0xff;
+    msg[kOffLen] = bb_len & 0xff;
+    msg[kOffLen + 1] = (bb_len >> 8) & 0xff;
+    for (size_t i = 0; i < buf.size() && i <= kMaxPath; ++i)
+        msg[kOffBuf + i] = static_cast<uint8_t>(buf[i]);
+    return msg;
+}
+
+bool
+ServerAccepts(const Bytes &msg, const ServerBugs &bugs)
+{
+    if (msg.size() < kMessageLength)
+        return false;
+    if (msg[kOffSum] != kSumConst)
+        return false;
+    if (msg[kOffKey] != (kKeyConst & 0xff) ||
+        msg[kOffKey + 1] != ((kKeyConst >> 8) & 0xff)) {
+        return false;
+    }
+    if (msg[kOffSeq] != (kSeqConst & 0xff) ||
+        msg[kOffSeq + 1] != ((kSeqConst >> 8) & 0xff)) {
+        return false;
+    }
+    for (uint32_t i = 0; i < 4; ++i)
+        if (msg[kOffPos + i] != 0)
+            return false;
+    if (!IsKnownCommand(msg[kOffCmd]))
+        return false;
+    const uint16_t len = ReadLen(msg);
+    if (len == 0 || len > kMaxPath)
+        return false;
+    for (uint16_t i = 0; i < len; ++i) {
+        const uint8_t c = msg[kOffBuf + i];
+        if (c == 0) {
+            // Embedded terminator: true length < bb_len.
+            return bugs.skip_length_check;
+        }
+        if (!IsPrintable(c))
+            return false;
+        if (c == kWildcard && !bugs.accept_wildcard)
+            return false;
+    }
+    return true;
+}
+
+bool
+ClientCanGenerate(const Bytes &msg)
+{
+    if (msg.size() < kMessageLength)
+        return false;
+    if (!IsKnownCommand(msg[kOffCmd]))
+        return false;
+    if (msg[kOffSum] != kSumConst)
+        return false;
+    if (msg[kOffKey] != (kKeyConst & 0xff) ||
+        msg[kOffKey + 1] != ((kKeyConst >> 8) & 0xff)) {
+        return false;
+    }
+    if (msg[kOffSeq] != (kSeqConst & 0xff) ||
+        msg[kOffSeq + 1] != ((kSeqConst >> 8) & 0xff)) {
+        return false;
+    }
+    for (uint32_t i = 0; i < 4; ++i)
+        if (msg[kOffPos + i] != 0)
+            return false;
+    const uint16_t len = ReadLen(msg);
+    if (len == 0 || len > kMaxPath)
+        return false;
+    // The first `len` bytes must be printable, non-wildcard, non-NUL;
+    // the remainder of the buffer is file payload and unconstrained.
+    for (uint16_t i = 0; i < len; ++i) {
+        const uint8_t c = msg[kOffBuf + i];
+        if (c == 0 || !IsPrintable(c) || c == kWildcard)
+            return false;
+    }
+    return true;
+}
+
+std::optional<LengthTrojanType>
+ClassifyLengthTrojan(const Bytes &msg)
+{
+    if (!IsTrojan(msg))
+        return std::nullopt;
+    const uint16_t len = ReadLen(msg);
+    uint16_t true_len = 0;
+    while (true_len < len && msg[kOffBuf + true_len] != 0)
+        ++true_len;
+    if (true_len >= len)
+        return std::nullopt;  // not a length-mismatch Trojan
+    return LengthTrojanType{msg[kOffCmd], len, true_len};
+}
+
+std::vector<LengthTrojanType>
+AllKnownLengthTrojanTypes()
+{
+    std::vector<LengthTrojanType> all;
+    for (const Utility &u : Utilities())
+        for (uint16_t reported = 1; reported <= kMaxPath; ++reported)
+            for (uint16_t true_len = 0; true_len < reported; ++true_len)
+                all.push_back(LengthTrojanType{u.cmd, reported, true_len});
+    return all;
+}
+
+bool
+IsWildcardTrojan(const Bytes &msg)
+{
+    if (!IsTrojan(msg))
+        return false;
+    const std::string path = EffectivePath(msg);
+    return path.find('*') != std::string::npos;
+}
+
+std::vector<std::string>
+FspServer::ListFiles() const
+{
+    std::vector<std::string> names;
+    names.reserve(files_.size());
+    for (const auto &[name, content] : files_)
+        names.push_back(name);
+    return names;
+}
+
+HandleResult
+FspServer::Handle(const Bytes &msg)
+{
+    HandleResult result;
+    if (!ServerAccepts(msg, bugs_))
+        return result;
+    result.accepted = true;
+    const std::string path = EffectivePath(msg);
+    switch (msg[kOffCmd]) {
+      case kGetFile:
+      case kGrabFile:
+      case kGetDir:
+      case kGetPro:
+      case kStat:
+        result.action = "read " + path;
+        break;
+      case kDelFile:
+      case kDelDir:
+        // The server treats '*' like any regular character: it deletes
+        // exactly the named file (no server-side globbing).
+        if (files_.erase(path) > 0)
+            result.action = "deleted " + path;
+        else
+            result.action = "missing " + path;
+        break;
+      case kMakeDir:
+        files_[path] = "";
+        result.action = "created " + path;
+        break;
+      default:
+        result.action = "noop";
+        break;
+    }
+    return result;
+}
+
+bool
+FspClient::GlobMatch(const std::string &pattern, const std::string &name)
+{
+    // Classic recursive '*' matcher (no escaping -- the FSP bug).
+    size_t p = 0, n = 0, star = std::string::npos, match = 0;
+    while (n < name.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == name[n])) {
+            ++p;
+            ++n;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            match = n;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            n = ++match;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+size_t
+FspClient::RunRename(const std::string &src_arg,
+                     const std::string &dst_arg)
+{
+    if (src_arg.empty() || dst_arg.empty())
+        return 0;
+    std::vector<std::string> sources;
+    if (src_arg.find('*') != std::string::npos) {
+        for (const std::string &name : server_->ListFiles())
+            if (GlobMatch(src_arg, name))
+                sources.push_back(name);
+    } else {
+        sources.push_back(src_arg);
+    }
+    // The destination is literal -- no expansion, no escaping.
+    size_t renamed = 0;
+    for (const std::string &src : sources)
+        renamed += server_->RenameFile(src, dst_arg) ? 1 : 0;
+    return renamed;
+}
+
+std::vector<Bytes>
+FspClient::Run(Command cmd, const std::string &arg)
+{
+    std::vector<Bytes> sent;
+    if (arg.empty() || arg.size() > kMaxPath)
+        return sent;
+    for (char c : arg) {
+        if (!IsPrintable(static_cast<uint8_t>(c)))
+            return sent;
+    }
+    std::vector<std::string> paths;
+    if (arg.find('*') != std::string::npos) {
+        // Client-side glob expansion against the server listing; the
+        // raw pattern is never sent. There is no way to escape '*'.
+        for (const std::string &name : server_->ListFiles())
+            if (GlobMatch(arg, name))
+                paths.push_back(name);
+    } else {
+        paths.push_back(arg);
+    }
+    for (const std::string &path : paths) {
+        if (path.size() > kMaxPath)
+            continue;
+        Bytes msg = EncodeMessage(cmd, path);
+        server_->Handle(msg);
+        sent.push_back(std::move(msg));
+    }
+    return sent;
+}
+
+}  // namespace fsp
+}  // namespace achilles

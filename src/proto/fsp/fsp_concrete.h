@@ -1,0 +1,188 @@
+// Achilles reproduction -- FSP substrate.
+//
+// Concrete (non-symbolic) FSP implementation: a real in-memory
+// filesystem server and a utility client with client-side glob
+// expansion. Used for
+//   * ground truth: deciding whether a concrete message is accepted /
+//     client-generatable / Trojan (Table 1 false-positive accounting,
+//     fuzzing baseline),
+//   * fault injection: demonstrating the impact of the discovered
+//     Trojans (Section 6.3's wildcard and mismatched-length scenarios).
+
+#ifndef ACHILLES_PROTO_FSP_FSP_CONCRETE_H_
+#define ACHILLES_PROTO_FSP_FSP_CONCRETE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/fsp/fsp_protocol.h"
+
+namespace achilles {
+namespace fsp {
+
+/** A concrete wire message. */
+using Bytes = std::vector<uint8_t>;
+
+/** Build a well-formed message the way a correct client would. */
+Bytes EncodeMessage(Command cmd, const std::string &path);
+
+/** Craft a message with an arbitrary bb_len (for fault injection). */
+Bytes EncodeRawMessage(uint8_t cmd, uint16_t bb_len,
+                       const std::string &buf);
+
+// ---------------------------------------------------------------------
+// Ground truth oracle
+// ---------------------------------------------------------------------
+
+/** Would the (buggy) FSP server accept this message? */
+bool ServerAccepts(const Bytes &msg, const ServerBugs &bugs = {});
+
+/** Could any correct client utility generate this message? */
+bool ClientCanGenerate(const Bytes &msg);
+
+/** Trojan == accepted but not generatable. */
+inline bool
+IsTrojan(const Bytes &msg, const ServerBugs &bugs = {})
+{
+    return ServerAccepts(msg, bugs) && !ClientCanGenerate(msg);
+}
+
+/**
+ * Classify a Trojan into the paper's known-type space:
+ * (cmd, reported length, true length) with true < reported. Returns
+ * nullopt for Trojans outside that family (e.g. wildcard messages).
+ */
+struct LengthTrojanType
+{
+    uint8_t cmd = 0;
+    uint16_t reported_len = 0;
+    uint16_t true_len = 0;
+
+    bool
+    operator<(const LengthTrojanType &o) const
+    {
+        if (cmd != o.cmd)
+            return cmd < o.cmd;
+        if (reported_len != o.reported_len)
+            return reported_len < o.reported_len;
+        return true_len < o.true_len;
+    }
+    bool
+    operator==(const LengthTrojanType &o) const
+    {
+        return cmd == o.cmd && reported_len == o.reported_len &&
+               true_len == o.true_len;
+    }
+};
+std::optional<LengthTrojanType> ClassifyLengthTrojan(const Bytes &msg);
+
+/** All (1+2+3+4)*8 == 80 known length-mismatch Trojan types. */
+std::vector<LengthTrojanType> AllKnownLengthTrojanTypes();
+
+/** Does the message contain a wildcard in its effective path? */
+bool IsWildcardTrojan(const Bytes &msg);
+
+// ---------------------------------------------------------------------
+// Concrete server (in-memory filesystem)
+// ---------------------------------------------------------------------
+
+/** Result of handling one message on the concrete server. */
+struct HandleResult
+{
+    bool accepted = false;
+    std::string action;  ///< what the server did (for logs/tests)
+};
+
+/**
+ * The concrete FSP server: an in-memory filesystem keyed by path.
+ * Handles the same command set as the symbolic model and exhibits the
+ * same two bugs.
+ */
+class FspServer
+{
+  public:
+    explicit FspServer(ServerBugs bugs = {}) : bugs_(bugs) {}
+
+    HandleResult Handle(const Bytes &msg);
+
+    /** Direct filesystem access for tests / scenario setup. */
+    void CreateFile(const std::string &path, const std::string &content)
+    {
+        files_[path] = content;
+    }
+
+    /**
+     * Rename operation (the target of the utilities' `fmv`). Like the
+     * real server, the names are treated literally -- '*' is a regular
+     * character. Renaming onto an existing name overwrites it.
+     */
+    bool
+    RenameFile(const std::string &src, const std::string &dst)
+    {
+        auto it = files_.find(src);
+        if (it == files_.end())
+            return false;
+        files_[dst] = it->second;
+        files_.erase(it);
+        return true;
+    }
+    bool HasFile(const std::string &path) const
+    {
+        return files_.count(path) != 0;
+    }
+    std::vector<std::string> ListFiles() const;
+    size_t FileCount() const { return files_.size(); }
+
+  private:
+    ServerBugs bugs_;
+    std::map<std::string, std::string> files_;
+};
+
+// ---------------------------------------------------------------------
+// Concrete client (with client-side globbing)
+// ---------------------------------------------------------------------
+
+/**
+ * The concrete FSP utility client. Mirrors the utilities' behavior:
+ * validates the argument, expands '*' patterns against the server's
+ * listing (client-side globbing, no escaping possible), and sends one
+ * message per expanded path.
+ */
+class FspClient
+{
+  public:
+    explicit FspClient(FspServer *server) : server_(server) {}
+
+    /**
+     * Run a utility on an argument. Returns the concrete messages that
+     * were sent (empty when validation fails or the glob matches
+     * nothing).
+     */
+    std::vector<Bytes> Run(Command cmd, const std::string &arg);
+
+    /**
+     * The `fmv` utility (paper Section 6.3): the *source* pattern is
+     * glob-expanded client-side, the *destination* is taken literally
+     * ("destination file paths are not globbed"). `mv file1* file2*`
+     * therefore renames every match of `file1*` to the literal string
+     * `file2*`, destroying all but one of the originals. Returns the
+     * number of renames performed.
+     */
+    size_t RunRename(const std::string &src_arg,
+                     const std::string &dst_arg);
+
+    /** Glob matching helper ('*' matches any character sequence). */
+    static bool GlobMatch(const std::string &pattern,
+                          const std::string &name);
+
+  private:
+    FspServer *server_;
+};
+
+}  // namespace fsp
+}  // namespace achilles
+
+#endif  // ACHILLES_PROTO_FSP_FSP_CONCRETE_H_

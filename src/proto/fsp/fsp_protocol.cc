@@ -1,0 +1,226 @@
+// Achilles reproduction -- FSP substrate.
+
+#include "proto/fsp/fsp_protocol.h"
+
+namespace achilles {
+namespace fsp {
+
+using symexec::ProgramBuilder;
+using symexec::Val;
+
+const std::vector<Utility> &
+Utilities()
+{
+    static const std::vector<Utility> utilities = {
+        {"fls", kGetDir},      {"fget", kGetFile}, {"frm", kDelFile},
+        {"frmdir", kDelDir},   {"fgetpro", kGetPro}, {"fmkdir", kMakeDir},
+        {"fgrab", kGrabFile},  {"fstat", kStat},
+    };
+    return utilities;
+}
+
+core::MessageLayout
+MakeLayout()
+{
+    core::MessageLayout layout(kMessageLength);
+    layout.AddField("cmd", kOffCmd, 1)
+        .AddField("sum", kOffSum, 1)
+        .AddField("bb_key", kOffKey, 2)
+        .AddField("bb_seq", kOffSeq, 2)
+        .AddField("bb_len", kOffLen, 2)
+        .AddField("bb_pos", kOffPos, 4);
+    for (uint32_t i = 0; i <= kMaxPath; ++i) {
+        layout.AddField("buf" + std::to_string(i), kOffBuf + i, 1);
+    }
+    // The approximated fields are masked (paper Section 6.1): the client
+    // writes constants and the server checks them; they carry no Trojan
+    // signal and masking them keeps the solver queries small.
+    layout.Mask("sum").Mask("bb_key").Mask("bb_seq").Mask("bb_pos");
+    return layout;
+}
+
+symexec::Program
+MakeClient(const Utility &utility)
+{
+    ProgramBuilder b(std::string("fsp-") + utility.name);
+    b.Function("main", {}, 0, [&] {
+        // The command-line argument: kMaxPath symbolic characters (the
+        // fixed-length symbolic argv of Section 6.1).
+        b.Array("arg", 8, kMaxPath);
+        b.For(kMaxPath, [&](uint32_t i) {
+            Val c = b.ReadInput("arg" + std::to_string(i), 8);
+            b.Store("arg", Val::Const(8, i), c);
+        });
+
+        // Parse + validate the path the way the FSP utilities do:
+        //  * stop at the terminating '\0'
+        //  * only printable characters are legal in a path
+        //  * a '*' triggers client-side glob expansion -- the raw
+        //    pattern is never sent (and there is no escape), so paths
+        //    containing '*' never leave a correct client. Expansion
+        //    yields concrete '*'-free paths, which are covered by other
+        //    assignments of this same symbolic argument; the path with
+        //    the raw wildcard is simply not sent.
+        b.Array("buf", 8, kMaxPath + 1);
+        Val done = b.Local("done", 1, Val::Const(1, 0));
+        Val len = b.Local("len", 16, Val::Const(16, 0));
+        b.For(kMaxPath, [&](uint32_t i) {
+            Val c = ProgramBuilder::ArrayAt("arg", 8, Val::Const(8, i));
+            b.If(done == Val::Const(1, 0), [&] {
+                b.If(
+                    c == Val::Const(8, 0), [&] {
+                        b.Assign(done, Val::Const(1, 1));
+                    },
+                    [&] {
+                        b.If(c < kPrintableMin, [&] { b.Halt(); });
+                        b.If(c > kPrintableMax, [&] { b.Halt(); });
+                        b.If(c == kWildcard, [&] { b.Halt(); });
+                        b.Store("buf", Val::Const(8, i), c);
+                        b.Assign(len, len + Val::Const(16, 1));
+                    });
+            });
+        });
+        // Empty paths are rejected client-side (usage error).
+        b.If(len == Val::Const(16, 0), [&] { b.Halt(); });
+
+        // Assemble the command message. bb_len always equals the true
+        // path length -- the invariant the server fails to re-check.
+        b.Array("msg", 8, kMessageLength);
+        b.Store("msg", Val::Const(8, kOffCmd),
+                Val::Const(8, utility.cmd));
+        b.Store("msg", Val::Const(8, kOffSum), Val::Const(8, kSumConst));
+        b.Store("msg", Val::Const(8, kOffKey),
+                Val::Const(8, kKeyConst & 0xff));
+        b.Store("msg", Val::Const(8, kOffKey + 1),
+                Val::Const(8, (kKeyConst >> 8) & 0xff));
+        b.Store("msg", Val::Const(8, kOffSeq),
+                Val::Const(8, kSeqConst & 0xff));
+        b.Store("msg", Val::Const(8, kOffSeq + 1),
+                Val::Const(8, (kSeqConst >> 8) & 0xff));
+        b.Store("msg", Val::Const(8, kOffLen), len.Extract(0, 8));
+        b.Store("msg", Val::Const(8, kOffLen + 1), len.Extract(8, 8));
+        b.For(4, [&](uint32_t i) {
+            b.Store("msg", Val::Const(8, kOffPos + i), Val::Const(8, 0));
+        });
+        // Path characters, then the terminator, then payload: the bytes
+        // after the path carry file data in FSP and are arbitrary.
+        // (`len` is concrete on each forked path, so these Ifs do not
+        // fork.)
+        b.For(kMaxPath + 1, [&](uint32_t i) {
+            b.If(
+                Val::Const(16, i) < len,
+                [&] {
+                    b.Store("msg", Val::Const(8, kOffBuf + i),
+                            ProgramBuilder::ArrayAt(
+                                "buf", 8, Val::Const(8, i)));
+                },
+                [&] {
+                    Val data = b.MakeSymbolic(
+                        "payload" + std::to_string(i), 8);
+                    b.Store("msg", Val::Const(8, kOffBuf + i), data);
+                });
+        });
+        b.SendMessage("msg", utility.name);
+    });
+    return b.Build();
+}
+
+std::vector<symexec::Program>
+MakeAllClients()
+{
+    std::vector<symexec::Program> clients;
+    clients.reserve(Utilities().size());
+    for (const Utility &u : Utilities())
+        clients.push_back(MakeClient(u));
+    return clients;
+}
+
+symexec::Program
+MakeServer(const ServerBugs &bugs)
+{
+    ProgramBuilder b("fsp-server");
+    b.Function("main", {}, 0, [&] {
+        b.ReceiveMessage("msg", kMessageLength);
+        auto byte = [&](uint32_t off) {
+            return ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, off));
+        };
+
+        // Approximated header checks (annotation bypass): sum, key,
+        // seq, pos must equal the predefined constants.
+        b.If(byte(kOffSum) != Val::Const(8, kSumConst),
+             [&] { b.MarkReject("bad-sum"); });
+        b.If(byte(kOffKey) != Val::Const(8, kKeyConst & 0xff),
+             [&] { b.MarkReject("bad-key"); });
+        b.If(byte(kOffKey + 1) != Val::Const(8, (kKeyConst >> 8) & 0xff),
+             [&] { b.MarkReject("bad-key"); });
+        b.If(byte(kOffSeq) != Val::Const(8, kSeqConst & 0xff),
+             [&] { b.MarkReject("bad-seq"); });
+        b.If(byte(kOffSeq + 1) != Val::Const(8, (kSeqConst >> 8) & 0xff),
+             [&] { b.MarkReject("bad-seq"); });
+        b.For(4, [&](uint32_t i) {
+            b.If(byte(kOffPos + i) != Val::Const(8, 0),
+                 [&] { b.MarkReject("bad-pos"); });
+        });
+
+        // Command dispatch: unknown commands are discarded.
+        Val cmd = b.Local("cmd", 8, byte(kOffCmd));
+        Val known = b.Local("known", 1, Val::Const(1, 0));
+        for (const Utility &u : Utilities()) {
+            b.If(cmd == u.cmd,
+                 [&] { b.Assign(known, Val::Const(1, 1)); });
+        }
+        b.If(known == Val::Const(1, 0), [&] { b.MarkReject("bad-cmd"); });
+
+        // Path length: reassemble bb_len (little-endian).
+        Val high = byte(kOffLen + 1);
+        Val len = b.Local("len", 16, high.Concat(byte(kOffLen)));
+        b.If(len == Val::Const(16, 0), [&] { b.MarkReject("empty"); });
+        b.If(len > Val::Const(16, kMaxPath),
+             [&] { b.MarkReject("too-long"); });
+
+        // Scan the path. The server stops at an embedded '\0'
+        // (accepting the message even though its true length is shorter
+        // than bb_len -- the mismatched-length bug) and accepts every
+        // printable character including '*' (the wildcard bug).
+        Val done = b.Local("done", 1, Val::Const(1, 0));
+        b.For(kMaxPath, [&](uint32_t i) {
+            b.If(Val::Const(16, i) < len, [&] {
+                b.If(done == Val::Const(1, 0), [&] {
+                    Val c = byte(kOffBuf + i);
+                    b.If(
+                        c == Val::Const(8, 0),
+                        [&] {
+                            if (bugs.skip_length_check) {
+                                // Bug: treat the early NUL as end of
+                                // path and keep going.
+                                b.Assign(done, Val::Const(1, 1));
+                            } else {
+                                b.MarkReject("short-path");
+                            }
+                        },
+                        [&] {
+                            b.If(c < kPrintableMin,
+                                 [&] { b.MarkReject("unprintable"); });
+                            b.If(c > kPrintableMax,
+                                 [&] { b.MarkReject("unprintable"); });
+                            if (!bugs.accept_wildcard) {
+                                b.If(c == kWildcard, [&] {
+                                    b.MarkReject("wildcard");
+                                });
+                            }
+                        });
+                });
+            });
+        });
+
+        // The request passed parsing; the server now performs the
+        // filesystem action -- the accept point of Section 6.1 ("we set
+        // accept markers at the point where it invokes system calls to
+        // make changes to its local file system").
+        b.MarkAccept("fs-syscall");
+    });
+    return b.Build();
+}
+
+}  // namespace fsp
+}  // namespace achilles

@@ -1,0 +1,117 @@
+// Achilles reproduction -- FSP (File Service Protocol) substrate.
+//
+// A faithful re-implementation of the FSP 2.8.1b26 client/server message
+// handling analyzed in the paper (Section 6), at the protocol-logic
+// level. FSP is a UDP file-transfer protocol whose clients emulate UNIX
+// core utilities (rm, mv, cat, ...): a client parses a command-line file
+// path, validates and glob-expands it, and sends a command message; the
+// server parses the command and acts on its local filesystem.
+//
+// Wire format (paper Section 6.1):
+//   cmd     : 1 byte   command code
+//   sum     : 1 byte   checksum            (approximated: constant)
+//   bb_key  : 2 bytes  message key         (approximated: constant)
+//   bb_seq  : 2 bytes  sequence number     (approximated: constant)
+//   bb_len  : 2 bytes  length of file path
+//   bb_pos  : 4 bytes  block position      (approximated: constant)
+//   buf     : kMaxPath+1 bytes  file path (+ room for the terminator)
+//
+// The two bugs the paper found are reproduced by construction of the
+// same client/server asymmetry:
+//   * wildcard bug -- clients glob-expand '*' before sending (and offer
+//     no escape), so no correct client sends a raw '*'; the server
+//     accepts any printable byte including '*'.
+//   * mismatched-length bug -- clients always set bb_len to the true
+//     path length; the server stops scanning at an embedded '\0' and
+//     accepts messages whose true length is smaller than bb_len.
+
+#ifndef ACHILLES_PROTO_FSP_FSP_PROTOCOL_H_
+#define ACHILLES_PROTO_FSP_FSP_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/message.h"
+#include "symexec/program.h"
+
+namespace achilles {
+namespace fsp {
+
+/** Maximum file path length analyzed (paper: "length less than 5"). */
+inline constexpr uint32_t kMaxPath = 4;
+
+/** FSP command codes (single-file-path utilities; real FSP values). */
+enum Command : uint8_t {
+    kGetDir = 0x41,
+    kGetFile = 0x42,
+    kDelFile = 0x45,
+    kDelDir = 0x46,
+    kGetPro = 0x47,
+    kMakeDir = 0x49,
+    kGrabFile = 0x4B,
+    kStat = 0x4D,
+};
+
+/** The 8 analyzed utilities and their command codes. */
+struct Utility
+{
+    const char *name;
+    Command cmd;
+};
+const std::vector<Utility> &Utilities();
+
+// Byte offsets.
+inline constexpr uint32_t kOffCmd = 0;
+inline constexpr uint32_t kOffSum = 1;
+inline constexpr uint32_t kOffKey = 2;
+inline constexpr uint32_t kOffSeq = 4;
+inline constexpr uint32_t kOffLen = 6;
+inline constexpr uint32_t kOffPos = 8;
+inline constexpr uint32_t kOffBuf = 12;
+inline constexpr uint32_t kMessageLength = kOffBuf + kMaxPath + 1;
+
+// Approximated header constants (the paper's annotation bypass: the
+// client writes a predefined constant and the server checks it).
+inline constexpr uint64_t kSumConst = 0x5A;
+inline constexpr uint64_t kKeyConst = 0xBEEF;
+inline constexpr uint64_t kSeqConst = 0x0001;
+inline constexpr uint64_t kPosConst = 0;
+
+// Printable-character range accepted by the server.
+inline constexpr uint64_t kPrintableMin = 33;
+inline constexpr uint64_t kPrintableMax = 126;
+inline constexpr uint64_t kWildcard = '*';
+
+/**
+ * The message layout. The approximated header fields (sum, key, seq,
+ * pos) are masked; the analysis covers cmd, bb_len and the buf bytes --
+ * the 8 bytes the paper calls "relevant to the Trojan messages".
+ */
+core::MessageLayout MakeLayout();
+
+/** Which server-side bugs to include (for fix ablations). */
+struct ServerBugs
+{
+    bool accept_wildcard = true;        ///< '*' accepted in paths
+    bool skip_length_check = true;      ///< embedded '\0' accepted
+};
+
+// Note on trailing bytes: FSP's buf carries "file path + file data", so
+// the bytes after the path are legitimately arbitrary on both sides
+// (clients send whatever payload follows); they are modeled as
+// unconstrained symbolic data in the client and are not a Trojan
+// source.
+
+/** Client program for one utility. */
+symexec::Program MakeClient(const Utility &utility);
+
+/** All 8 utility clients. */
+std::vector<symexec::Program> MakeAllClients();
+
+/** The FSP server request parser (with the selected bugs). */
+symexec::Program MakeServer(const ServerBugs &bugs = {});
+
+}  // namespace fsp
+}  // namespace achilles
+
+#endif  // ACHILLES_PROTO_FSP_FSP_PROTOCOL_H_

@@ -1,0 +1,79 @@
+// Achilles reproduction -- Paxos substrate.
+
+#include "proto/paxos/paxos.h"
+
+namespace achilles {
+namespace paxos {
+
+using symexec::ProgramBuilder;
+using symexec::Val;
+
+core::MessageLayout
+MakeLayout()
+{
+    core::MessageLayout layout(kMessageLength);
+    layout.AddField("type", kOffType, 1)
+        .AddField("ballot", kOffBallot, 2)
+        .AddField("value", kOffValue, 2);
+    return layout;
+}
+
+symexec::Program
+MakeProposer(LocalStateMode mode)
+{
+    ProgramBuilder b("paxos-proposer");
+    b.Function("main", {}, 0, [&] {
+        Val value = Val::Const(16, kScenarioValue);
+        if (mode == LocalStateMode::kConstructedSymbolic) {
+            // The proposal came from (symbolic) client input earlier in
+            // the protocol run; the proposer validated it then.
+            value = b.ReadInput("proposal", 16);
+            b.If(value >= Val::Const(16, kMaxProposableValue),
+                 [&] { b.Halt(); });
+        }
+        b.Array("msg", 8, kMessageLength);
+        b.Store("msg", Val::Const(8, kOffType),
+                Val::Const(8, kTypeAccept));
+        b.Store("msg", Val::Const(8, kOffBallot),
+                Val::Const(8, kScenarioBallot & 0xff));
+        b.Store("msg", Val::Const(8, kOffBallot + 1),
+                Val::Const(8, (kScenarioBallot >> 8) & 0xff));
+        b.Store("msg", Val::Const(8, kOffValue), value.Extract(0, 8));
+        b.Store("msg", Val::Const(8, kOffValue + 1), value.Extract(8, 8));
+        b.SendMessage("msg", "accept");
+    });
+    return b.Build();
+}
+
+symexec::Program
+MakeAcceptor(LocalStateMode mode)
+{
+    ProgramBuilder b("paxos-acceptor");
+    b.Function("main", {}, 0, [&] {
+        b.ReceiveMessage("msg", kMessageLength);
+        auto byte = [&](uint32_t off) {
+            return ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, off));
+        };
+        b.If(byte(kOffType) != Val::Const(8, kTypeAccept),
+             [&] { b.MarkReject("not-accept"); });
+
+        Val bh = byte(kOffBallot + 1);
+        Val ballot = b.Local("ballot", 16, bh.Concat(byte(kOffBallot)));
+
+        // The promised ballot is the acceptor's local state.
+        Val promised = Val::Const(16, kScenarioBallot);
+        if (mode == LocalStateMode::kOverApproximate) {
+            // Annotation idiom: havoc the state, constrain its range.
+            promised = b.OverApproximate("promised", 16, 1, 10);
+        }
+        b.If(ballot < promised, [&] { b.MarkReject("stale-ballot"); });
+
+        // Basic Paxos: the value is stored without cross-checking the
+        // proposal -- the acceptance point.
+        b.MarkAccept("accept-value");
+    });
+    return b.Build();
+}
+
+}  // namespace paxos
+}  // namespace achilles

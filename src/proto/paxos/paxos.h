@@ -1,0 +1,72 @@
+// Achilles reproduction -- Paxos substrate (paper Section 3.4).
+//
+// The paper's illustration of local state: a Paxos acceptor that has
+// entered the second phase "should only validate Accept messages for
+// [the proposed] value -- any other message is a Trojan message". The
+// acceptor itself follows basic Paxos and accepts any value with a
+// sufficiently high ballot; the invariant that the value matches the
+// proposal is maintained only by correct proposers, which is exactly the
+// client/server asymmetry Achilles detects.
+//
+// The three local-state modes of Section 3.4 are exposed:
+//   * kConcrete            -- the scenario is run concretely first, so
+//                             the proposer/acceptor state is a constant
+//                             (proposed value 7, promised ballot 5);
+//   * kConstructedSymbolic -- the proposal is a symbolic value passed
+//                             between nodes, so one Achilles run covers
+//                             every concrete scenario at once;
+//   * kOverApproximate     -- the acceptor's promised ballot is
+//                             annotated as a constrained symbolic
+//                             (the make_symbolic/assume idiom).
+
+#ifndef ACHILLES_PROTO_PAXOS_PAXOS_H_
+#define ACHILLES_PROTO_PAXOS_PAXOS_H_
+
+#include "core/message.h"
+#include "symexec/program.h"
+
+namespace achilles {
+namespace paxos {
+
+/** Message: type(1) | ballot(2) | value(2). */
+inline constexpr uint32_t kMessageLength = 5;
+inline constexpr uint64_t kTypeAccept = 2;
+
+inline constexpr uint32_t kOffType = 0;
+inline constexpr uint32_t kOffBallot = 1;
+inline constexpr uint32_t kOffValue = 3;
+
+/** The concrete scenario of Section 3.4. */
+inline constexpr uint64_t kScenarioBallot = 5;
+inline constexpr uint64_t kScenarioValue = 7;
+/** Proposer-side validation bound in the symbolic-state mode. */
+inline constexpr uint64_t kMaxProposableValue = 100;
+
+/** Local-state handling mode (Section 3.4). */
+enum class LocalStateMode : uint8_t {
+    kConcrete,
+    kConstructedSymbolic,
+    kOverApproximate,
+};
+
+core::MessageLayout MakeLayout();
+
+/**
+ * The phase-2 proposer (the "client"): sends ACCEPT(ballot, value). In
+ * kConcrete mode both are the scenario constants; in
+ * kConstructedSymbolic mode the value is the symbolic proposal the
+ * protocol run built up (validated to < kMaxProposableValue).
+ */
+symexec::Program MakeProposer(LocalStateMode mode);
+
+/**
+ * The acceptor (the "server"): in phase 2 with promised ballot. Accepts
+ * any ACCEPT whose ballot is at least the promised one -- including
+ * values no correct proposer would send in this scenario.
+ */
+symexec::Program MakeAcceptor(LocalStateMode mode);
+
+}  // namespace paxos
+}  // namespace achilles
+
+#endif  // ACHILLES_PROTO_PAXOS_PAXOS_H_

@@ -1,0 +1,183 @@
+// Achilles reproduction -- PBFT substrate.
+
+#include "proto/pbft/pbft_concrete.h"
+
+#include "support/logging.h"
+
+namespace achilles {
+namespace pbft {
+
+namespace {
+
+uint16_t
+Read16(const Bytes &msg, uint32_t off)
+{
+    return static_cast<uint16_t>(msg[off]) |
+           (static_cast<uint16_t>(msg[off + 1]) << 8);
+}
+
+void
+Write16(Bytes *msg, uint32_t off, uint16_t value)
+{
+    (*msg)[off] = value & 0xff;
+    (*msg)[off + 1] = (value >> 8) & 0xff;
+}
+
+}  // namespace
+
+Bytes
+EncodeRequest(uint16_t cid, uint16_t rid,
+              const std::vector<uint8_t> &command, uint16_t extra,
+              uint16_t replier)
+{
+    Bytes msg(kMessageLength, 0);
+    Write16(&msg, kOffTag, kTagRequest);
+    Write16(&msg, kOffExtra, extra);
+    msg[kOffSize] = kMessageLength & 0xff;
+    msg[kOffSize + 1] = (kMessageLength >> 8) & 0xff;
+    for (uint32_t i = 0; i < 16; ++i)
+        msg[kOffDigest + i] = kDigestConst;
+    Write16(&msg, kOffReplier, replier);
+    Write16(&msg, kOffCommandSize, kCommandSize);
+    Write16(&msg, kOffCid, cid);
+    Write16(&msg, kOffRid, rid);
+    for (uint32_t i = 0; i < kCommandSize && i < command.size(); ++i)
+        msg[kOffCommand + i] = command[i];
+    for (uint32_t r = 0; r < kNumReplicas; ++r)
+        Write16(&msg, kOffMac + 2 * r, kValidMac);
+    return msg;
+}
+
+Bytes
+CorruptMac(Bytes msg, uint32_t replica, uint16_t bad_value)
+{
+    ACHILLES_CHECK(replica < kNumReplicas);
+    Write16(&msg, kOffMac + 2 * replica, bad_value);
+    return msg;
+}
+
+bool
+ReplicaAccepts(const Bytes &msg, uint16_t last_rid_for_client,
+               const ReplicaChecks &checks)
+{
+    if (msg.size() < kMessageLength)
+        return false;
+    if (Read16(msg, kOffTag) != kTagRequest)
+        return false;
+    if (msg[kOffSize] != (kMessageLength & 0xff) ||
+        msg[kOffSize + 1] != ((kMessageLength >> 8) & 0xff) ||
+        msg[kOffSize + 2] != 0 || msg[kOffSize + 3] != 0) {
+        return false;
+    }
+    for (uint32_t i = 0; i < 16; ++i)
+        if (msg[kOffDigest + i] != kDigestConst)
+            return false;
+    if (Read16(msg, kOffCommandSize) != kCommandSize)
+        return false;
+    if (Read16(msg, kOffCid) >= kNumClients)
+        return false;
+    if (Read16(msg, kOffRid) <= last_rid_for_client)
+        return false;
+    if (Read16(msg, kOffExtra) & kReadOnlyFlag)
+        return false;  // fast path, no Pre_prepare
+    if (checks.verify_mac) {
+        for (uint32_t r = 0; r < kNumReplicas; ++r)
+            if (Read16(msg, kOffMac + 2 * r) != kValidMac)
+                return false;
+    }
+    return true;
+}
+
+bool
+ClientCanGenerate(const Bytes &msg)
+{
+    if (msg.size() < kMessageLength)
+        return false;
+    if (Read16(msg, kOffTag) != kTagRequest)
+        return false;
+    if (msg[kOffSize] != (kMessageLength & 0xff) ||
+        msg[kOffSize + 1] != ((kMessageLength >> 8) & 0xff) ||
+        msg[kOffSize + 2] != 0 || msg[kOffSize + 3] != 0) {
+        return false;
+    }
+    for (uint32_t i = 0; i < 16; ++i)
+        if (msg[kOffDigest + i] != kDigestConst)
+            return false;
+    if (Read16(msg, kOffCommandSize) != kCommandSize)
+        return false;
+    // extra / replier / cid / rid / command are free; the
+    // authenticators of a correct client are always valid.
+    for (uint32_t r = 0; r < kNumReplicas; ++r)
+        if (Read16(msg, kOffMac + 2 * r) != kValidMac)
+            return false;
+    return true;
+}
+
+bool
+IsTrojan(const Bytes &msg, uint16_t last_rid_for_client,
+         const ReplicaChecks &checks)
+{
+    return ReplicaAccepts(msg, last_rid_for_client, checks) &&
+           !ClientCanGenerate(msg);
+}
+
+void
+PbftCluster::Submit(const Bytes &request)
+{
+    const uint16_t cid = Read16(request, kOffCid);
+    const uint16_t last =
+        cid < kNumClients ? last_rid_[cid] : 0xffff;
+    if (!ReplicaAccepts(request, last, primary_checks_)) {
+        ++result_.rejected_at_primary;
+        return;
+    }
+    last_rid_[cid] = Read16(request, kOffRid);
+    // The primary generated a Pre_prepare. Backups now verify their
+    // authenticators; any failure forces the expensive recovery
+    // protocol (they cannot tell whether the client or the primary
+    // corrupted the message).
+    bool backup_mac_failure = false;
+    for (uint32_t r = 1; r < kNumReplicas; ++r) {
+        if (Read16(request, kOffMac + 2 * r) != kValidMac)
+            backup_mac_failure = true;
+    }
+    if (backup_mac_failure) {
+        ++result_.recoveries;
+        result_.simulated_ms += costs_.recovery_ms;
+        return;
+    }
+    ++result_.committed;
+    result_.simulated_ms += costs_.agreement_ms;
+}
+
+WorkloadResult
+PbftCluster::RunWorkload(uint64_t num_requests, double trojan_fraction,
+                         Rng *rng)
+{
+    result_ = WorkloadResult{};
+    uint16_t next_rid = 1;
+    for (uint64_t i = 0; i < num_requests; ++i) {
+        const uint16_t cid =
+            static_cast<uint16_t>(rng->Below(kNumClients));
+        Bytes request = EncodeRequest(
+            cid, next_rid++,
+            {static_cast<uint8_t>(rng->Below(256)),
+             static_cast<uint8_t>(rng->Below(256)), 0, 0});
+        if (rng->Chance(trojan_fraction)) {
+            // Corrupt a backup's authenticator: passes the primary,
+            // fails at the backup.
+            request = CorruptMac(
+                std::move(request),
+                1 + static_cast<uint32_t>(rng->Below(kNumReplicas - 1)));
+        }
+        Submit(request);
+        if (next_rid == 0xffff) {
+            next_rid = 1;
+            last_rid_.assign(kNumClients, 0);
+        }
+    }
+    return result_;
+}
+
+}  // namespace pbft
+}  // namespace achilles

@@ -1,0 +1,100 @@
+// Achilles reproduction -- PBFT substrate.
+//
+// Concrete PBFT mini-cluster: a primary plus backups executing the
+// request -> Pre_prepare -> agreement pipeline with a cost model, used
+// to demonstrate the impact of the MAC attack (Section 6.3): requests
+// whose authenticators are corrupted pass the primary (which does not
+// verify), fail at the backups, and trigger an expensive recovery
+// protocol, collapsing cluster throughput.
+
+#ifndef ACHILLES_PROTO_PBFT_PBFT_CONCRETE_H_
+#define ACHILLES_PROTO_PBFT_PBFT_CONCRETE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/pbft/pbft_protocol.h"
+#include "support/rng.h"
+
+namespace achilles {
+namespace pbft {
+
+using Bytes = std::vector<uint8_t>;
+
+/** Build a well-formed request (all authenticators valid). */
+Bytes EncodeRequest(uint16_t cid, uint16_t rid,
+                    const std::vector<uint8_t> &command,
+                    uint16_t extra = 0, uint16_t replier = 0);
+
+/** Corrupt one replica's authenticator (the MAC attack message). */
+Bytes CorruptMac(Bytes msg, uint32_t replica, uint16_t bad_value = 0xDEAD);
+
+// Ground-truth oracle (mirrors the symbolic models).
+bool ReplicaAccepts(const Bytes &msg, uint16_t last_rid_for_client,
+                    const ReplicaChecks &checks = {});
+bool ClientCanGenerate(const Bytes &msg);
+bool IsTrojan(const Bytes &msg, uint16_t last_rid_for_client = 0,
+              const ReplicaChecks &checks = {});
+
+/** Cost model for the cluster simulation (milliseconds). */
+struct ClusterCosts
+{
+    double agreement_ms = 1.0;   ///< normal 3-phase commit
+    double recovery_ms = 100.0;  ///< view-change / MAC-recovery protocol
+};
+
+/** Outcome of a simulated workload. */
+struct WorkloadResult
+{
+    uint64_t committed = 0;
+    uint64_t rejected_at_primary = 0;
+    uint64_t recoveries = 0;
+    double simulated_ms = 0.0;
+
+    double
+    ThroughputOpsPerSec() const
+    {
+        return simulated_ms <= 0.0 ? 0.0
+                                   : committed / (simulated_ms / 1e3);
+    }
+};
+
+/**
+ * A 4-replica (f = 1) PBFT cluster with the MAC-attack vulnerability:
+ * the primary forwards requests without verifying authenticators;
+ * backups verify theirs and trigger recovery on failure.
+ */
+class PbftCluster
+{
+  public:
+    explicit PbftCluster(ClusterCosts costs = {},
+                         ReplicaChecks primary_checks = {})
+        : costs_(costs), primary_checks_(primary_checks)
+    {
+    }
+
+    /** Process one request; advances simulated time. */
+    void Submit(const Bytes &request);
+
+    /**
+     * Run a workload of `num_requests` requests of which a fraction
+     * `trojan_fraction` carry a corrupted authenticator (the malicious
+     * client / corrupted-key scenario of Section 6.3).
+     */
+    WorkloadResult RunWorkload(uint64_t num_requests,
+                               double trojan_fraction, Rng *rng);
+
+    const WorkloadResult &result() const { return result_; }
+
+  private:
+    ClusterCosts costs_;
+    ReplicaChecks primary_checks_;
+    WorkloadResult result_;
+    std::vector<uint16_t> last_rid_ =
+        std::vector<uint16_t>(kNumClients, 0);
+};
+
+}  // namespace pbft
+}  // namespace achilles
+
+#endif  // ACHILLES_PROTO_PBFT_PBFT_CONCRETE_H_

@@ -1,0 +1,179 @@
+// Achilles reproduction -- PBFT substrate.
+
+#include "proto/pbft/pbft_protocol.h"
+
+namespace achilles {
+namespace pbft {
+
+using symexec::ProgramBuilder;
+using symexec::Val;
+
+core::MessageLayout
+MakeLayout()
+{
+    core::MessageLayout layout(kMessageLength);
+    layout.AddField("tag", kOffTag, 2)
+        .AddField("extra", kOffExtra, 2)
+        .AddField("size", kOffSize, 4)
+        .AddField("replier", kOffReplier, 2)
+        .AddField("command_size", kOffCommandSize, 2)
+        .AddField("cid", kOffCid, 2)
+        .AddField("rid", kOffRid, 2);
+    // The 16-byte digest is approximated and masked (Section 6.1); it
+    // is modeled as 2 wide fields to stay within the 8-byte field cap.
+    layout.AddField("od_lo", kOffDigest, 8).AddField("od_hi",
+                                                     kOffDigest + 8, 8);
+    layout.Mask("od_lo").Mask("od_hi");
+    for (uint32_t i = 0; i < kCommandSize; ++i)
+        layout.AddField("command" + std::to_string(i), kOffCommand + i, 1);
+    for (uint32_t r = 0; r < kNumReplicas; ++r)
+        layout.AddField("mac" + std::to_string(r), kOffMac + 2 * r, 2);
+    return layout;
+}
+
+namespace {
+
+/** Store a 16-bit little-endian value into two message bytes. */
+void
+Store16(ProgramBuilder &b, const std::string &array, uint32_t off,
+        const Val &v)
+{
+    b.Store(array, Val::Const(8, off), v.Extract(0, 8));
+    b.Store(array, Val::Const(8, off + 1), v.Extract(8, 8));
+}
+
+void
+Store16Const(ProgramBuilder &b, const std::string &array, uint32_t off,
+             uint64_t value)
+{
+    b.Store(array, Val::Const(8, off), Val::Const(8, value & 0xff));
+    b.Store(array, Val::Const(8, off + 1),
+            Val::Const(8, (value >> 8) & 0xff));
+}
+
+Val
+Load16(uint32_t off)
+{
+    Val high = ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, off + 1));
+    Val low = ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, off));
+    return high.Concat(low);
+}
+
+}  // namespace
+
+symexec::Program
+MakeClient()
+{
+    ProgramBuilder b("pbft-client");
+    b.Function("main", {}, 0, [&] {
+        // Symbolic request parameters (Section 6.1).
+        Val extra = b.ReadInput("extra", 16);
+        Val replier = b.ReadInput("replier", 16);
+        Val cid = b.ReadInput("cid", 16);
+        Val rid = b.ReadInput("rid", 16);
+
+        b.Array("msg", 8, kMessageLength);
+        Store16Const(b, "msg", kOffTag, kTagRequest);
+        Store16(b, "msg", kOffExtra, extra);
+        // size: 4-byte little-endian message length (constant).
+        b.Store("msg", Val::Const(8, kOffSize),
+                Val::Const(8, kMessageLength & 0xff));
+        b.Store("msg", Val::Const(8, kOffSize + 1),
+                Val::Const(8, (kMessageLength >> 8) & 0xff));
+        b.Store("msg", Val::Const(8, kOffSize + 2), Val::Const(8, 0));
+        b.Store("msg", Val::Const(8, kOffSize + 3), Val::Const(8, 0));
+        // Digest: approximated by the predefined constant byte.
+        b.For(16, [&](uint32_t i) {
+            b.Store("msg", Val::Const(8, kOffDigest + i),
+                    Val::Const(8, kDigestConst));
+        });
+        Store16(b, "msg", kOffReplier, replier);
+        Store16Const(b, "msg", kOffCommandSize, kCommandSize);
+        Store16(b, "msg", kOffCid, cid);
+        Store16(b, "msg", kOffRid, rid);
+        b.For(kCommandSize, [&](uint32_t i) {
+            Val byte = b.ReadInput("command" + std::to_string(i), 8);
+            b.Store("msg", Val::Const(8, kOffCommand + i), byte);
+        });
+        // Authenticators: a correct client signs for every replica; the
+        // approximation writes the predefined "valid" constant.
+        b.For(kNumReplicas, [&](uint32_t r) {
+            Store16Const(b, "msg", kOffMac + 2 * r, kValidMac);
+        });
+        b.SendMessage("msg", "request");
+    });
+    return b.Build();
+}
+
+symexec::Program
+MakeReplica(const ReplicaChecks &checks)
+{
+    ProgramBuilder b(checks.verify_mac ? "pbft-replica-fixed"
+                                       : "pbft-replica");
+    b.Function("main", {}, 0, [&] {
+        b.ReceiveMessage("msg", kMessageLength);
+        auto byte = [&](uint32_t off) {
+            return ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, off));
+        };
+
+        // Message-type and framing checks.
+        Val tag = b.Local("tag", 16, Load16(kOffTag));
+        b.If(tag != Val::Const(16, kTagRequest),
+             [&] { b.MarkReject("bad-tag"); });
+        b.If(byte(kOffSize) != Val::Const(8, kMessageLength & 0xff),
+             [&] { b.MarkReject("bad-size"); });
+        b.If(byte(kOffSize + 1) !=
+                 Val::Const(8, (kMessageLength >> 8) & 0xff),
+             [&] { b.MarkReject("bad-size"); });
+        b.If(byte(kOffSize + 2) != Val::Const(8, 0),
+             [&] { b.MarkReject("bad-size"); });
+        b.If(byte(kOffSize + 3) != Val::Const(8, 0),
+             [&] { b.MarkReject("bad-size"); });
+        // Digest (approximated constant) check.
+        b.For(16, [&](uint32_t i) {
+            b.If(byte(kOffDigest + i) != Val::Const(8, kDigestConst),
+                 [&] { b.MarkReject("bad-digest"); });
+        });
+        Val csize = b.Local("csize", 16, Load16(kOffCommandSize));
+        b.If(csize != Val::Const(16, kCommandSize),
+             [&] { b.MarkReject("bad-command-size"); });
+
+        // Client id must be known.
+        Val cid = b.Local("cid", 16, Load16(kOffCid));
+        b.If(cid >= Val::Const(16, kNumClients),
+             [&] { b.MarkReject("unknown-client"); });
+
+        // Request id recency against over-approximated local state (the
+        // paper's Over-approximate Symbolic Local State mode): the
+        // per-client last request id becomes an unconstrained symbolic.
+        Val last_rid = b.MakeSymbolic("last_rid", 16);
+        Val rid = b.Local("rid", 16, Load16(kOffRid));
+        b.If(rid <= last_rid, [&] { b.MarkReject("stale-rid"); });
+
+        // Read-only requests take the fast path (answered directly, no
+        // Pre_prepare / agreement).
+        Val extra = b.Local("extra", 16, Load16(kOffExtra));
+        b.If((extra & kReadOnlyFlag) != Val::Const(16, 0),
+             [&] { b.MarkReject("read-only-fastpath"); });
+
+        if (checks.verify_mac) {
+            // The fix: the primary verifies its own authenticator
+            // before initiating agreement.
+            b.For(kNumReplicas, [&](uint32_t r) {
+                Val mac = Load16(kOffMac + 2 * r);
+                b.If(mac != Val::Const(16, kValidMac),
+                     [&] { b.MarkReject("bad-mac"); });
+            });
+        }
+        // Vulnerability (default): the authenticators are never read.
+
+        // Pre_prepare generation == acceptance (Section 6.1: "we
+        // considered a message to be accepted when the replica
+        // generates a Pre_prepare message for the client request").
+        b.MarkAccept("pre-prepare");
+    });
+    return b.Build();
+}
+
+}  // namespace pbft
+}  // namespace achilles

@@ -1,0 +1,84 @@
+// Achilles reproduction -- PBFT substrate.
+//
+// The client-request handling of a PBFT (Castro-Liskov) replica, as
+// analyzed in Section 6 of the paper. PBFT clients send requests
+// authenticated with a MAC vector (one authenticator per replica); the
+// primary replica is supposed to verify its authenticator before
+// initiating agreement, but the implementation does not -- the known
+// "MAC attack" vulnerability [Clement et al., NSDI'09] that Achilles
+// rediscovers: requests with corrupted authenticators are accepted and
+// forwarded, and the backups' authenticator failures then trigger an
+// expensive recovery protocol.
+//
+// Wire format (paper Section 6.1):
+//   tag          : 2 bytes   message type (REQUEST)
+//   extra        : 2 bytes   flags (bit 0: read-only)
+//   size         : 4 bytes   message length
+//   od           : 16 bytes  digest        (approximated: constant)
+//   replier      : 2 bytes   responsible replica id
+//   command_size : 2 bytes   command length
+//   cid          : 2 bytes   client id
+//   rid          : 2 bytes   request id
+//   command      : kCommandSize bytes
+//   mac0..3      : 2 bytes each, per-replica authenticators
+//                  (approximated: constant == "valid MAC")
+
+#ifndef ACHILLES_PROTO_PBFT_PBFT_PROTOCOL_H_
+#define ACHILLES_PROTO_PBFT_PBFT_PROTOCOL_H_
+
+#include <vector>
+
+#include "core/message.h"
+#include "symexec/program.h"
+
+namespace achilles {
+namespace pbft {
+
+inline constexpr uint32_t kNumReplicas = 4;  // f = 1
+inline constexpr uint32_t kNumClients = 8;
+inline constexpr uint32_t kCommandSize = 4;
+
+inline constexpr uint64_t kTagRequest = 0x0001;
+inline constexpr uint64_t kReadOnlyFlag = 0x0001;
+inline constexpr uint64_t kDigestConst = 0xD1;   ///< repeated od byte
+inline constexpr uint64_t kValidMac = 0xA0C3;    ///< per-replica MAC
+
+// Byte offsets.
+inline constexpr uint32_t kOffTag = 0;
+inline constexpr uint32_t kOffExtra = 2;
+inline constexpr uint32_t kOffSize = 4;
+inline constexpr uint32_t kOffDigest = 8;
+inline constexpr uint32_t kOffReplier = 24;
+inline constexpr uint32_t kOffCommandSize = 26;
+inline constexpr uint32_t kOffCid = 28;
+inline constexpr uint32_t kOffRid = 30;
+inline constexpr uint32_t kOffCommand = 32;
+inline constexpr uint32_t kOffMac = kOffCommand + kCommandSize;
+inline constexpr uint32_t kMessageLength = kOffMac + 2 * kNumReplicas;
+
+/** Layout; `od` is masked (approximated digest), the MACs are not. */
+core::MessageLayout MakeLayout();
+
+/** The PBFT client: one request with symbolic extra, replier, rid, cid
+ *  and command (paper Section 6.1); digest and MACs are the predefined
+ *  constants. */
+symexec::Program MakeClient();
+
+/** Replica front-end behavior toggles. */
+struct ReplicaChecks
+{
+    /** Verify the primary's MAC before Pre_prepare (the fix). */
+    bool verify_mac = false;
+};
+
+/**
+ * The replica's request handler up to Pre_prepare generation (the
+ * accept marker). Local state (per-client last request id) is
+ * over-approximated with unconstrained symbolic values.
+ */
+symexec::Program MakeReplica(const ReplicaChecks &checks = {});
+
+}  // namespace pbft
+}  // namespace achilles
+
+#endif  // ACHILLES_PROTO_PBFT_PBFT_PROTOCOL_H_

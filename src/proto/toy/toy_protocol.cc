@@ -1,0 +1,157 @@
+// Achilles reproduction -- toy protocol (paper Section 2).
+
+#include "proto/toy/toy_protocol.h"
+
+namespace achilles {
+namespace toy {
+
+using symexec::ProgramBuilder;
+using symexec::Val;
+
+core::MessageLayout
+MakeLayout(bool mask_crc)
+{
+    core::MessageLayout layout(kMessageLength);
+    layout.AddField("sender", kOffSender, 1)
+        .AddField("request", kOffRequest, 1)
+        .AddField("address", kOffAddress, 1)
+        .AddField("value", kOffValue, 1)
+        .AddField("crc", kOffCrc, 1);
+    if (mask_crc)
+        layout.Mask("crc");
+    return layout;
+}
+
+namespace {
+
+/** The checksum expression both sides compute (Figure 2/3's CRC). */
+Val
+CrcExpr(const Val &sender, const Val &request, const Val &address,
+        const Val &value)
+{
+    return sender ^ (request * Val::Const(8, 7)) ^
+           (address * Val::Const(8, 13)) ^ (value * Val::Const(8, 31));
+}
+
+}  // namespace
+
+symexec::Program
+MakeClient()
+{
+    ProgramBuilder b("toy-client");
+    b.Function("main", {}, 0, [&] {
+        // getPeerID() over-approximated to [0, kPeers-1] (Figure 9).
+        Val peer = b.OverApproximate("peer", 8, 0, kPeers - 1);
+        Val op = b.ReadInput("op", 8);
+        Val address = b.ReadInput("address", 8);
+        // Client-side validation (Figure 3 lines 5-8): only addresses in
+        // [0, DATASIZE) are ever sent.
+        b.If(address.Sge(Val::Const(8, kDataSize)), [&] { b.Halt(); });
+        b.If(address.Slt(Val::Const(8, 0)), [&] { b.Halt(); });
+
+        b.Array("msg", 8, kMessageLength);
+        b.If(op == kRead, [&] {
+            b.Store("msg", Val::Const(8, kOffSender), peer);
+            b.Store("msg", Val::Const(8, kOffRequest), Val::Const(8, kRead));
+            b.Store("msg", Val::Const(8, kOffAddress), address);
+            b.Store("msg", Val::Const(8, kOffValue), Val::Const(8, 0));
+            b.Store("msg", Val::Const(8, kOffCrc),
+                    CrcExpr(peer, Val::Const(8, kRead), address,
+                            Val::Const(8, 0)));
+            b.SendMessage("msg", "read-request");
+        });
+        b.If(op == kWrite, [&] {
+            Val value = b.ReadInput("value", 8);
+            b.Store("msg", Val::Const(8, kOffSender), peer);
+            b.Store("msg", Val::Const(8, kOffRequest),
+                    Val::Const(8, kWrite));
+            b.Store("msg", Val::Const(8, kOffAddress), address);
+            b.Store("msg", Val::Const(8, kOffValue), value);
+            b.Store("msg", Val::Const(8, kOffCrc),
+                    CrcExpr(peer, Val::Const(8, kWrite), address, value));
+            b.SendMessage("msg", "write-request");
+        });
+        // Any other operation type: no message (exit).
+    });
+    return b.Build();
+}
+
+namespace {
+
+/** Common server structure; `check_read_lower_bound` toggles the bug. */
+symexec::Program
+MakeServerImpl(bool check_read_lower_bound)
+{
+    ProgramBuilder b(check_read_lower_bound ? "toy-server-fixed"
+                                            : "toy-server");
+    b.Function("main", {}, 0, [&] {
+        b.ReceiveMessage("msg", kMessageLength);
+        auto field = [&](uint32_t off) {
+            return ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, off));
+        };
+        Val sender = b.Local("sender", 8, field(kOffSender));
+        Val request = b.Local("request", 8, field(kOffRequest));
+        Val address = b.Local("address", 8, field(kOffAddress));
+        Val value = b.Local("value", 8, field(kOffValue));
+        Val crc = b.Local("crc", 8, field(kOffCrc));
+
+        // isInSet(msg.sender, peers): peers are ids [0, kPeers).
+        b.If(sender >= kPeers, [&] { b.Return(); });
+        // isValidCRC(msg, msg.CRC).
+        b.If(crc != CrcExpr(sender, request, address, value),
+             [&] { b.Return(); });
+
+        // The server's 100-entry data array (Figure 2 line 3).
+        b.Array("data", 8, kDataSize);
+
+        b.Switch(
+            request,
+            {{kRead,
+              [&] {
+                  b.If(address.Sge(Val::Const(8, kDataSize)),
+                       [&] { b.Return(); });
+                  if (check_read_lower_bound) {
+                      b.If(address.Slt(Val::Const(8, 0)),
+                           [&] { b.Return(); });
+                  }
+                  // Security vulnerability (unless fixed): negative
+                  // addresses reach data[msg.address].
+                  b.Array("reply", 8, 2);
+                  b.Store("reply", Val::Const(8, 0), Val::Const(8, 0xAA));
+                  b.Store("reply", Val::Const(8, 1),
+                          ProgramBuilder::ArrayAt("data", 8, address));
+                  b.SendMessage("reply", "read-reply");
+                  b.Return();
+              }},
+             {kWrite,
+              [&] {
+                  b.If(address.Sge(Val::Const(8, kDataSize)),
+                       [&] { b.Return(); });
+                  b.If(address.Slt(Val::Const(8, 0)), [&] { b.Return(); });
+                  b.Store("data", address, value);
+                  b.Array("ack", 8, 1);
+                  b.Store("ack", Val::Const(8, 0), Val::Const(8, 0x55));
+                  b.SendMessage("ack", "write-ack");
+                  b.Return();
+              }}},
+            [&] { b.Return(); });
+    });
+    return b.Build();
+}
+
+}  // namespace
+
+symexec::Program
+MakeServer()
+{
+    return MakeServerImpl(/*check_read_lower_bound=*/false);
+}
+
+symexec::Program
+MakeFixedServer()
+{
+    return MakeServerImpl(/*check_read_lower_bound=*/true);
+}
+
+}  // namespace toy
+}  // namespace achilles

@@ -1,0 +1,65 @@
+// Achilles reproduction -- toy protocol (paper Section 2).
+//
+// The working example from Figures 2-3: a read/write server over a
+// 100-entry data array. The server validates `address < DATASIZE` for
+// both request types but forgets `address >= 0` for READ requests; the
+// client validates both bounds. READ messages with a negative address
+// are therefore Trojan messages (they can leak server memory, e.g. the
+// peers table stored below the data array).
+//
+// Message layout (5 bytes):
+//   sender  : 1 byte   peer id
+//   request : 1 byte   1 = READ, 2 = WRITE
+//   address : 1 byte   interpreted as SIGNED by the server's bound check
+//   value   : 1 byte   payload for WRITE
+//   crc     : 1 byte   xor-style checksum over the other fields
+
+#ifndef ACHILLES_PROTO_TOY_TOY_PROTOCOL_H_
+#define ACHILLES_PROTO_TOY_TOY_PROTOCOL_H_
+
+#include "core/message.h"
+#include "symexec/program.h"
+
+namespace achilles {
+namespace toy {
+
+inline constexpr uint64_t kRead = 1;
+inline constexpr uint64_t kWrite = 2;
+inline constexpr uint64_t kDataSize = 100;
+inline constexpr uint32_t kMessageLength = 5;
+
+inline constexpr uint32_t kOffSender = 0;
+inline constexpr uint32_t kOffRequest = 1;
+inline constexpr uint32_t kOffAddress = 2;
+inline constexpr uint32_t kOffValue = 3;
+inline constexpr uint32_t kOffCrc = 4;
+
+/** Number of known peers accepted by the server (ids [0, kPeers)). */
+inline constexpr uint64_t kPeers = 10;
+
+/** The message layout shared by client and server analyses. */
+core::MessageLayout MakeLayout(bool mask_crc = false);
+
+/** The client of Figure 3 (validates 0 <= address < DATASIZE). */
+symexec::Program MakeClient();
+
+/** The server of Figure 2 (missing the address >= 0 check on READ). */
+symexec::Program MakeServer();
+
+/**
+ * A repaired server (both bounds checked on both request types); used
+ * by tests to show Achilles reports no Trojans when the bug is fixed.
+ */
+symexec::Program MakeFixedServer();
+
+/** The xor-style checksum both sides compute. */
+inline uint64_t
+ToyCrc(uint64_t sender, uint64_t request, uint64_t address, uint64_t value)
+{
+    return (sender ^ (request * 7) ^ (address * 13) ^ (value * 31)) & 0xff;
+}
+
+}  // namespace toy
+}  // namespace achilles
+
+#endif  // ACHILLES_PROTO_TOY_TOY_PROTOCOL_H_

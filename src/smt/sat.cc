@@ -1,0 +1,389 @@
+// Achilles reproduction -- SMT library.
+//
+// CDCL SAT solver implementation. The structure follows MiniSat 2.2:
+// watched literals with blockers, first-UIP learning, activity-ordered
+// decisions with phase saving, geometric restarts.
+
+#include "smt/sat.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace achilles {
+namespace smt {
+
+SatSolver::SatSolver() = default;
+
+uint32_t
+SatSolver::NewVar()
+{
+    const uint32_t v = static_cast<uint32_t>(assigns_.size());
+    assigns_.push_back(LBool::kUndef);
+    model_.push_back(LBool::kUndef);
+    saved_phase_.push_back(0);
+    activity_.push_back(0.0);
+    level_.push_back(0);
+    reason_.push_back(kNoClause);
+    seen_.push_back(0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    return v;
+}
+
+LBool
+SatSolver::LitValue(Lit l) const
+{
+    const LBool v = assigns_[l.var()];
+    if (v == LBool::kUndef)
+        return LBool::kUndef;
+    const bool b = (v == LBool::kTrue) != l.negated();
+    return b ? LBool::kTrue : LBool::kFalse;
+}
+
+bool
+SatSolver::AddClause(std::vector<Lit> lits)
+{
+    if (!ok_)
+        return false;
+    BacktrackTo(0);
+
+    // Normalize: sort, dedupe, drop level-0-false literals, detect
+    // tautologies and level-0-true literals.
+    std::sort(lits.begin(), lits.end(),
+              [](Lit a, Lit b) { return a.code() < b.code(); });
+    std::vector<Lit> out;
+    Lit prev = Lit::FromCode(0xffffffffu);
+    for (Lit l : lits) {
+        ACHILLES_CHECK(l.var() < NumVars(), "literal for unknown var");
+        if (l == prev)
+            continue;
+        if (prev.code() != 0xffffffffu && l == ~prev)
+            return true;  // tautology
+        const LBool v = LitValue(l);
+        if (v == LBool::kTrue)
+            return true;  // already satisfied at level 0
+        if (v == LBool::kFalse)
+            continue;  // can never help
+        out.push_back(l);
+        prev = l;
+    }
+
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        Enqueue(out[0], kNoClause);
+        if (Propagate() != kNoClause)
+            ok_ = false;
+        return ok_;
+    }
+    const ClauseRef cref = AllocClause(out, /*learnt=*/false);
+    clauses_.push_back(cref);
+    AttachClause(cref);
+    return true;
+}
+
+SatSolver::ClauseRef
+SatSolver::AllocClause(const std::vector<Lit> &lits, bool learnt)
+{
+    const ClauseRef cref = static_cast<ClauseRef>(arena_.size());
+    arena_.push_back(static_cast<uint32_t>(lits.size()));
+    for (Lit l : lits)
+        arena_.push_back(l.code());
+    if (learnt)
+        stats_.Bump("sat.learnt_clauses");
+    return cref;
+}
+
+void
+SatSolver::AttachClause(ClauseRef cref)
+{
+    ACHILLES_CHECK(ClauseSize(cref) >= 2);
+    const Lit c0 = ClauseLit(cref, 0);
+    const Lit c1 = ClauseLit(cref, 1);
+    watches_[(~c0).code()].push_back(Watcher{cref, c1});
+    watches_[(~c1).code()].push_back(Watcher{cref, c0});
+}
+
+void
+SatSolver::Enqueue(Lit l, ClauseRef reason)
+{
+    ACHILLES_CHECK(LitValue(l) == LBool::kUndef, "enqueue on assigned var");
+    assigns_[l.var()] = l.negated() ? LBool::kFalse : LBool::kTrue;
+    level_[l.var()] = DecisionLevel();
+    reason_[l.var()] = reason;
+    trail_.push_back(l);
+}
+
+SatSolver::ClauseRef
+SatSolver::Propagate()
+{
+    ClauseRef conflict = kNoClause;
+    while (qhead_ < trail_.size()) {
+        const Lit p = trail_[qhead_++];
+        stats_.Bump("sat.propagations");
+        std::vector<Watcher> &ws = watches_[p.code()];
+        size_t keep = 0;
+        size_t i = 0;
+        for (; i < ws.size(); ++i) {
+            const Watcher w = ws[i];
+            // Fast path: blocker already satisfied.
+            if (LitValue(w.blocker) == LBool::kTrue) {
+                ws[keep++] = w;
+                continue;
+            }
+            const ClauseRef cref = w.cref;
+            const uint32_t size = ClauseSize(cref);
+            // Ensure the false literal (~p) sits at position 1.
+            const Lit false_lit = ~p;
+            if (ClauseLit(cref, 0) == false_lit) {
+                arena_[cref + 1] = arena_[cref + 2];
+                arena_[cref + 2] = false_lit.code();
+            }
+            const Lit first = ClauseLit(cref, 0);
+            if (first != w.blocker && LitValue(first) == LBool::kTrue) {
+                ws[keep++] = Watcher{cref, first};
+                continue;
+            }
+            // Look for a new literal to watch.
+            bool found = false;
+            for (uint32_t k = 2; k < size; ++k) {
+                const Lit candidate = ClauseLit(cref, k);
+                if (LitValue(candidate) != LBool::kFalse) {
+                    arena_[cref + 2] = candidate.code();
+                    arena_[cref + 1 + k] = false_lit.code();
+                    watches_[(~candidate).code()].push_back(
+                        Watcher{cref, first});
+                    found = true;
+                    break;
+                }
+            }
+            if (found)
+                continue;
+            // Clause is unit or conflicting.
+            ws[keep++] = Watcher{cref, first};
+            if (LitValue(first) == LBool::kFalse) {
+                conflict = cref;
+                qhead_ = trail_.size();
+                // Copy remaining watchers back.
+                for (++i; i < ws.size(); ++i)
+                    ws[keep++] = ws[i];
+                break;
+            }
+            Enqueue(first, cref);
+        }
+        ws.resize(keep);
+        if (conflict != kNoClause)
+            break;
+    }
+    return conflict;
+}
+
+void
+SatSolver::BumpVar(uint32_t var)
+{
+    activity_[var] += var_inc_;
+    if (activity_[var] > 1e100)
+        RescaleActivities();
+}
+
+void
+SatSolver::RescaleActivities()
+{
+    for (double &a : activity_)
+        a *= 1e-100;
+    var_inc_ *= 1e-100;
+}
+
+void
+SatSolver::Analyze(ClauseRef conflict, std::vector<Lit> *out_learnt,
+                   uint32_t *out_btlevel)
+{
+    out_learnt->clear();
+    out_learnt->push_back(Lit());  // placeholder for the asserting literal
+
+    int path_count = 0;
+    Lit p;
+    bool p_valid = false;
+    size_t index = trail_.size();
+
+    ClauseRef c = conflict;
+    do {
+        ACHILLES_CHECK(c != kNoClause, "analyze hit a decision unexpectedly");
+        const uint32_t size = ClauseSize(c);
+        for (uint32_t j = p_valid ? 1 : 0; j < size; ++j) {
+            const Lit q = ClauseLit(c, j);
+            const uint32_t v = q.var();
+            if (!seen_[v] && level_[v] > 0) {
+                seen_[v] = 1;
+                BumpVar(v);
+                if (level_[v] >= DecisionLevel())
+                    ++path_count;
+                else
+                    out_learnt->push_back(q);
+            }
+        }
+        // Select the next literal to resolve on.
+        while (!seen_[trail_[index - 1].var()])
+            --index;
+        p = trail_[--index];
+        p_valid = true;
+        c = reason_[p.var()];
+        seen_[p.var()] = 0;
+        --path_count;
+    } while (path_count > 0);
+    (*out_learnt)[0] = ~p;
+
+    // Compute the backtrack level: highest level among the other lits.
+    uint32_t btlevel = 0;
+    size_t max_i = 1;
+    for (size_t i = 1; i < out_learnt->size(); ++i) {
+        const uint32_t lvl = level_[(*out_learnt)[i].var()];
+        if (lvl > btlevel) {
+            btlevel = lvl;
+            max_i = i;
+        }
+    }
+    if (out_learnt->size() > 1)
+        std::swap((*out_learnt)[1], (*out_learnt)[max_i]);
+    *out_btlevel = out_learnt->size() == 1 ? 0 : btlevel;
+
+    for (Lit l : *out_learnt)
+        seen_[l.var()] = 0;
+}
+
+void
+SatSolver::BacktrackTo(uint32_t target_level)
+{
+    if (DecisionLevel() <= target_level)
+        return;
+    const size_t bound = trail_lim_[target_level];
+    for (size_t i = trail_.size(); i > bound; --i) {
+        const Lit l = trail_[i - 1];
+        saved_phase_[l.var()] = l.negated() ? 0 : 1;
+        assigns_[l.var()] = LBool::kUndef;
+        reason_[l.var()] = kNoClause;
+    }
+    trail_.resize(bound);
+    trail_lim_.resize(target_level);
+    qhead_ = trail_.size();
+}
+
+Lit
+SatSolver::PickBranchLit()
+{
+    // Linear activity scan. Problem sizes in this reproduction (tens of
+    // thousands of gate variables) keep this acceptable and it avoids
+    // heap-maintenance subtleties.
+    double best = -1.0;
+    uint32_t best_var = 0;
+    bool found = false;
+    for (uint32_t v = 0; v < NumVars(); ++v) {
+        if (assigns_[v] == LBool::kUndef && activity_[v] > best) {
+            best = activity_[v];
+            best_var = v;
+            found = true;
+        }
+    }
+    if (!found)
+        return Lit::FromCode(0xffffffffu);
+    return Lit(best_var, saved_phase_[best_var] == 0);
+}
+
+SatStatus
+SatSolver::Solve(const std::vector<Lit> &assumptions, int64_t max_conflicts)
+{
+    if (!ok_)
+        return SatStatus::kUnsat;
+    BacktrackTo(0);
+    stats_.Bump("sat.solve_calls");
+
+    int64_t conflicts = 0;
+    int64_t restart_budget = 100;
+    int64_t conflicts_at_restart = 0;
+
+    while (true) {
+        const ClauseRef conflict = Propagate();
+        if (conflict != kNoClause) {
+            ++conflicts;
+            stats_.Bump("sat.conflicts");
+            if (DecisionLevel() == 0) {
+                ok_ = false;
+                return SatStatus::kUnsat;
+            }
+            if (DecisionLevel() <= assumptions.size()) {
+                // Conflict depends only on assumptions: UNSAT under them.
+                BacktrackTo(0);
+                return SatStatus::kUnsat;
+            }
+            std::vector<Lit> learnt;
+            uint32_t btlevel = 0;
+            Analyze(conflict, &learnt, &btlevel);
+            // Never backjump into the middle of the assumption prefix
+            // without re-checking it; jumping to the assumption boundary
+            // is always safe.
+            BacktrackTo(btlevel);
+            if (learnt.size() == 1) {
+                if (DecisionLevel() == 0) {
+                    Enqueue(learnt[0], kNoClause);
+                } else {
+                    // Asserting unit below current level: restart to
+                    // apply it at level 0.
+                    BacktrackTo(0);
+                    Enqueue(learnt[0], kNoClause);
+                }
+            } else {
+                const ClauseRef cref = AllocClause(learnt, /*learnt=*/true);
+                learnts_.push_back(cref);
+                AttachClause(cref);
+                Enqueue(learnt[0], cref);
+            }
+            DecayVarActivity();
+            if (max_conflicts >= 0 && conflicts >= max_conflicts) {
+                BacktrackTo(0);
+                stats_.Bump("sat.budget_exhausted");
+                return SatStatus::kUnknown;
+            }
+            if (conflicts - conflicts_at_restart >= restart_budget) {
+                conflicts_at_restart = conflicts;
+                restart_budget =
+                    static_cast<int64_t>(restart_budget * 1.5);
+                stats_.Bump("sat.restarts");
+                BacktrackTo(0);
+            }
+            continue;
+        }
+
+        // No conflict: establish the next assumption, or decide.
+        if (DecisionLevel() < assumptions.size()) {
+            const Lit p = assumptions[DecisionLevel()];
+            ACHILLES_CHECK(p.var() < NumVars());
+            const LBool v = LitValue(p);
+            if (v == LBool::kTrue) {
+                NewDecisionLevel();  // dummy level keeps indexing aligned
+            } else if (v == LBool::kFalse) {
+                BacktrackTo(0);
+                return SatStatus::kUnsat;
+            } else {
+                NewDecisionLevel();
+                Enqueue(p, kNoClause);
+            }
+            continue;
+        }
+
+        const Lit next = PickBranchLit();
+        if (next.code() == 0xffffffffu) {
+            // All variables assigned: model found.
+            model_ = assigns_;
+            BacktrackTo(0);
+            return SatStatus::kSat;
+        }
+        stats_.Bump("sat.decisions");
+        NewDecisionLevel();
+        Enqueue(next, kNoClause);
+    }
+}
+
+}  // namespace smt
+}  // namespace achilles

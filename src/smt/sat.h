@@ -1,0 +1,161 @@
+// Achilles reproduction -- SMT library.
+//
+// CDCL SAT solver in the MiniSat lineage: two-watched-literal propagation,
+// first-UIP conflict analysis, VSIDS-style activity, phase saving and
+// geometric restarts. This is the decision procedure underneath the
+// bitvector solver, standing in for the SAT cores of STP/Z3.
+
+#ifndef ACHILLES_SMT_SAT_H_
+#define ACHILLES_SMT_SAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.h"
+#include "support/stats.h"
+
+namespace achilles {
+namespace smt {
+
+/** A literal: variable index with sign, encoded MiniSat-style (2v+sign). */
+class Lit
+{
+  public:
+    Lit() : code_(0) {}
+    Lit(uint32_t var, bool negated) : code_(2 * var + (negated ? 1 : 0)) {}
+
+    uint32_t var() const { return code_ >> 1; }
+    bool negated() const { return code_ & 1; }
+    Lit operator~() const { return FromCode(code_ ^ 1); }
+    uint32_t code() const { return code_; }
+    bool operator==(const Lit &o) const { return code_ == o.code_; }
+    bool operator!=(const Lit &o) const { return code_ != o.code_; }
+
+    static Lit
+    FromCode(uint32_t code)
+    {
+        Lit l;
+        l.code_ = code;
+        return l;
+    }
+
+  private:
+    uint32_t code_;
+};
+
+/** Ternary logic value of a variable or literal. */
+enum class LBool : uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+/** Result of a Solve() call. */
+enum class SatStatus { kSat, kUnsat, kUnknown };
+
+/**
+ * CDCL SAT solver.
+ *
+ * Usage: NewVar() variables, AddClause() clauses, Solve(). After kSat,
+ * Value(var) gives the model. The solver may be re-Solved after adding
+ * more clauses (clauses persist; learnt clauses are kept).
+ */
+class SatSolver
+{
+  public:
+    SatSolver();
+
+    /** Create a fresh variable; returns its index. */
+    uint32_t NewVar();
+    uint32_t NumVars() const { return static_cast<uint32_t>(assigns_.size()); }
+
+    /**
+     * Add a clause (disjunction of literals). Returns false if the clause
+     * set is already unsatisfiable (empty clause / conflicting units).
+     */
+    bool AddClause(std::vector<Lit> lits);
+    bool AddUnit(Lit a) { return AddClause({a}); }
+    bool AddBinary(Lit a, Lit b) { return AddClause({a, b}); }
+    bool AddTernary(Lit a, Lit b, Lit c) { return AddClause({a, b, c}); }
+
+    /**
+     * Solve under optional assumptions. `max_conflicts` < 0 means no
+     * budget limit; on budget exhaustion returns kUnknown.
+     */
+    SatStatus Solve(const std::vector<Lit> &assumptions = {},
+                    int64_t max_conflicts = -1);
+
+    /** Model value of a variable (valid after kSat). */
+    bool
+    Value(uint32_t var) const
+    {
+        ACHILLES_CHECK(var < model_.size());
+        return model_[var] == LBool::kTrue;
+    }
+
+    /** Solver statistics (conflicts, decisions, propagations...). */
+    const StatsRegistry &stats() const { return stats_; }
+
+  private:
+    // Clauses are stored in one arena; a clause is referenced by its
+    // offset. Layout: [size][lit0][lit1]...[activity-free].
+    using ClauseRef = uint32_t;
+    static constexpr ClauseRef kNoClause = 0xffffffffu;
+
+    struct Watcher
+    {
+        ClauseRef cref;
+        Lit blocker;
+    };
+
+    struct VarOrderLt;
+
+    LBool LitValue(Lit l) const;
+    void NewDecisionLevel() { trail_lim_.push_back(trail_.size()); }
+    uint32_t DecisionLevel() const
+    {
+        return static_cast<uint32_t>(trail_lim_.size());
+    }
+
+    void Enqueue(Lit l, ClauseRef reason);
+    ClauseRef Propagate();
+    void Analyze(ClauseRef conflict, std::vector<Lit> *out_learnt,
+                 uint32_t *out_btlevel);
+    void BacktrackTo(uint32_t level);
+    Lit PickBranchLit();
+    ClauseRef AllocClause(const std::vector<Lit> &lits, bool learnt);
+    void AttachClause(ClauseRef cref);
+    void BumpVar(uint32_t var);
+    void DecayVarActivity() { var_inc_ /= kVarDecay; }
+    void RescaleActivities();
+
+    uint32_t ClauseSize(ClauseRef cref) const { return arena_[cref]; }
+    Lit ClauseLit(ClauseRef cref, uint32_t i) const
+    {
+        return Lit::FromCode(arena_[cref + 1 + i]);
+    }
+
+    static constexpr double kVarDecay = 0.95;
+
+    std::vector<uint32_t> arena_;
+    std::vector<ClauseRef> clauses_;
+    std::vector<ClauseRef> learnts_;
+    std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
+    std::vector<LBool> assigns_;
+    std::vector<LBool> model_;
+    std::vector<uint8_t> saved_phase_;
+    std::vector<double> activity_;
+    std::vector<uint32_t> level_;
+    std::vector<ClauseRef> reason_;
+    std::vector<Lit> trail_;
+    std::vector<size_t> trail_lim_;
+    size_t qhead_ = 0;
+    double var_inc_ = 1.0;
+    bool ok_ = true;
+
+    // Conflict analysis scratch.
+    std::vector<uint8_t> seen_;
+
+    StatsRegistry stats_;
+};
+
+}  // namespace smt
+}  // namespace achilles
+
+#endif  // ACHILLES_SMT_SAT_H_

@@ -1,0 +1,152 @@
+// Achilles reproduction -- SMT library.
+
+#include "smt/solver.h"
+
+#include <algorithm>
+
+#include "smt/bitblast.h"
+#include "smt/interval.h"
+#include "smt/sat.h"
+
+namespace achilles {
+namespace smt {
+
+const char *
+CheckResultName(CheckResult r)
+{
+    switch (r) {
+      case CheckResult::kSat: return "sat";
+      case CheckResult::kUnsat: return "unsat";
+      case CheckResult::kUnknown: return "unknown";
+    }
+    ACHILLES_UNREACHABLE("bad CheckResult");
+}
+
+Solver::Solver(ExprContext *ctx, SolverConfig config)
+    : ctx_(ctx), config_(config)
+{
+}
+
+uint64_t
+Solver::QueryKey(const std::vector<ExprRef> &assertions) const
+{
+    // Order-insensitive hash over node pointers: interning makes pointer
+    // identity equal structural identity, and commutativity of
+    // conjunction makes order irrelevant.
+    uint64_t key = 0x51ed270b9f9f2b4dull;
+    for (ExprRef e : assertions) {
+        uint64_t h = reinterpret_cast<uint64_t>(e);
+        h *= 0x9e3779b97f4a7c15ull;
+        h ^= h >> 29;
+        key += h;
+    }
+    return key;
+}
+
+CheckResult
+Solver::CheckSatExpr(ExprRef e, Model *model)
+{
+    std::vector<ExprRef> conjuncts;
+    FlattenConjunction(e, &conjuncts);
+    return CheckSat(conjuncts, model);
+}
+
+CheckResult
+Solver::CheckSat(const std::vector<ExprRef> &assertions, Model *model)
+{
+    stats_.Bump("solver.queries");
+
+    // Trivial cases first.
+    std::vector<ExprRef> live;
+    live.reserve(assertions.size());
+    for (ExprRef e : assertions) {
+        ACHILLES_CHECK(e->width() == 1, "non-boolean assertion");
+        if (e->IsTrue())
+            continue;
+        if (e->IsFalse()) {
+            stats_.Bump("solver.trivial_unsat");
+            return CheckResult::kUnsat;
+        }
+        live.push_back(e);
+    }
+    if (live.empty()) {
+        stats_.Bump("solver.trivial_sat");
+        if (model)
+            *model = Model();
+        return CheckResult::kSat;
+    }
+
+    // Deduplicate (pointer identity) to stabilize the cache key.
+    std::sort(live.begin(), live.end());
+    live.erase(std::unique(live.begin(), live.end()), live.end());
+
+    uint64_t key = 0;
+    if (config_.enable_cache) {
+        key = QueryKey(live);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            stats_.Bump("solver.cache_hits");
+            if (model)
+                *model = it->second.model;
+            return it->second.result;
+        }
+    }
+
+    CheckResult result = CheckResult::kUnknown;
+    Model out_model;
+
+    if (config_.use_interval_check) {
+        IntervalChecker checker(ctx_);
+        if (checker.DefinitelyUnsat(live)) {
+            stats_.Bump("solver.interval_unsat");
+            result = CheckResult::kUnsat;
+            if (config_.enable_cache)
+                cache_.emplace(key, CacheEntry{result, Model()});
+            return result;
+        }
+    }
+
+    // Bit-blast and solve.
+    stats_.Bump("solver.sat_calls");
+    SatSolver sat;
+    BitBlaster blaster(&sat);
+    for (ExprRef e : live)
+        blaster.AssertTrue(e);
+    const SatStatus status = sat.Solve({}, config_.max_conflicts);
+    stats_.Bump("solver.sat_conflicts", sat.stats().Get("sat.conflicts"));
+    stats_.Bump("solver.sat_decisions", sat.stats().Get("sat.decisions"));
+
+    switch (status) {
+      case SatStatus::kUnsat:
+        result = CheckResult::kUnsat;
+        break;
+      case SatStatus::kUnknown:
+        result = CheckResult::kUnknown;
+        break;
+      case SatStatus::kSat: {
+        result = CheckResult::kSat;
+        std::unordered_set<uint32_t> vars;
+        for (ExprRef e : live)
+            ctx_->CollectVars(e, &vars);
+        for (uint32_t id : vars)
+            out_model.Set(id, blaster.VarValueFromModel(id));
+        if (config_.validate_models) {
+            for (ExprRef e : live) {
+                ACHILLES_CHECK(EvaluateBool(e, out_model),
+                               "model validation failed for: ",
+                               ctx_->ToString(e));
+            }
+        }
+        break;
+      }
+    }
+
+    if (config_.enable_cache && result != CheckResult::kUnknown)
+        cache_.emplace(key, CacheEntry{result, out_model});
+    if (model)
+        *model = out_model;
+    return result;
+}
+
+}  // namespace smt
+}  // namespace achilles

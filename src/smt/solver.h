@@ -1,0 +1,95 @@
+// Achilles reproduction -- SMT library.
+//
+// Solver facade: the QF_BV decision procedure used by every other layer
+// (symbolic execution feasibility checks, negate-operator overlap checks,
+// differentFrom precomputation, Trojan queries). Combines a fast interval
+// pre-check with bit-blasting + CDCL, plus a query cache, standing in for
+// the STP/Z3 usage in the paper.
+
+#ifndef ACHILLES_SMT_SOLVER_H_
+#define ACHILLES_SMT_SOLVER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/eval.h"
+#include "smt/expr.h"
+#include "support/stats.h"
+
+namespace achilles {
+namespace smt {
+
+/** Outcome of a satisfiability query. */
+enum class CheckResult { kSat, kUnsat, kUnknown };
+
+const char *CheckResultName(CheckResult r);
+
+/** Tunables for the solver facade. */
+struct SolverConfig
+{
+    /** Run the interval UNSAT pre-check before bit-blasting. */
+    bool use_interval_check = true;
+    /** Conflict budget for the SAT search; < 0 means unlimited. */
+    int64_t max_conflicts = -1;
+    /** Re-evaluate every assertion under each SAT model (cheap; catches
+     *  encoder bugs -- a model that fails validation is a panic). */
+    bool validate_models = true;
+    /** Memoize query results keyed by the assertion set. */
+    bool enable_cache = true;
+};
+
+/**
+ * The decision procedure facade.
+ *
+ * Stateless across queries apart from the cache; each CheckSat builds a
+ * fresh SAT instance (the Achilles search generates many small related
+ * queries rather than one growing one, so the cache is the effective
+ * incrementality mechanism).
+ */
+class Solver
+{
+  public:
+    explicit Solver(ExprContext *ctx, SolverConfig config = {});
+
+    /**
+     * Check satisfiability of the conjunction of `assertions`.
+     * On kSat and non-null `model`, fills `model` with values for every
+     * variable occurring in the assertions.
+     */
+    CheckResult CheckSat(const std::vector<ExprRef> &assertions,
+                         Model *model = nullptr);
+
+    /** Convenience overload for a single (possibly And-tree) assertion. */
+    CheckResult CheckSatExpr(ExprRef e, Model *model = nullptr);
+
+    /** True iff the conjunction is satisfiable (kUnknown -> false). */
+    bool
+    IsSat(const std::vector<ExprRef> &assertions)
+    {
+        return CheckSat(assertions) == CheckResult::kSat;
+    }
+
+    ExprContext *ctx() { return ctx_; }
+    const StatsRegistry &stats() const { return stats_; }
+    StatsRegistry *mutable_stats() { return &stats_; }
+
+  private:
+    struct CacheEntry
+    {
+        CheckResult result;
+        Model model;
+    };
+
+    uint64_t QueryKey(const std::vector<ExprRef> &assertions) const;
+
+    ExprContext *ctx_;
+    SolverConfig config_;
+    std::unordered_map<uint64_t, CacheEntry> cache_;
+    StatsRegistry stats_;
+};
+
+}  // namespace smt
+}  // namespace achilles
+
+#endif  // ACHILLES_SMT_SOLVER_H_

@@ -1,0 +1,74 @@
+// Achilles reproduction -- support library.
+//
+// Error-reporting primitives in the spirit of gem5's logging.hh:
+//   Panic()  -- internal invariant violated (a bug in this library); aborts.
+//   Fatal()  -- unrecoverable user/configuration error; exits cleanly.
+//   Warn()   -- something suspicious but survivable.
+
+#ifndef ACHILLES_SUPPORT_LOGGING_H_
+#define ACHILLES_SUPPORT_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace achilles {
+
+/** Terminate with a message indicating an internal bug. */
+[[noreturn]] inline void
+Panic(const std::string &msg, const char *file, int line)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+/** Terminate with a message indicating a user-facing error. */
+[[noreturn]] inline void
+Fatal(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n";
+    std::exit(1);
+}
+
+/** Emit a non-fatal warning. */
+inline void
+Warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+namespace detail {
+
+/** Build a message from stream-style parts. */
+template <typename... Args>
+std::string
+Concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+}  // namespace detail
+
+}  // namespace achilles
+
+/** Assert an internal invariant; active in all build types. */
+#define ACHILLES_CHECK(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::achilles::Panic(                                             \
+                ::achilles::detail::Concat("check failed: " #cond " ",     \
+                                           ##__VA_ARGS__),                 \
+                __FILE__, __LINE__);                                       \
+        }                                                                  \
+    } while (0)
+
+/** Report an unreachable code path. */
+#define ACHILLES_UNREACHABLE(...)                                          \
+    ::achilles::Panic(                                                     \
+        ::achilles::detail::Concat("unreachable ", ##__VA_ARGS__),         \
+        __FILE__, __LINE__)
+
+#endif  // ACHILLES_SUPPORT_LOGGING_H_

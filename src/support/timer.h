@@ -1,0 +1,40 @@
+// Achilles reproduction -- support library.
+//
+// Wall-clock timing helpers used by the experiment harnesses to report
+// per-phase timings (client extraction / preprocessing / server analysis),
+// mirroring the breakdown reported in Section 6.2 of the paper.
+
+#ifndef ACHILLES_SUPPORT_TIMER_H_
+#define ACHILLES_SUPPORT_TIMER_H_
+
+#include <chrono>
+
+namespace achilles {
+
+/** Simple monotonic stopwatch. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void Reset() { start_ = Clock::now(); }
+
+    /** Elapsed time in seconds since construction or last Reset(). */
+    double
+    Seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed time in milliseconds. */
+    double Millis() const { return Seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace achilles
+
+#endif  // ACHILLES_SUPPORT_TIMER_H_

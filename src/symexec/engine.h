@@ -1,0 +1,147 @@
+// Achilles reproduction -- symbolic execution engine.
+//
+// The forking interpreter. Executes a DSL program over symbolic state,
+// forking at feasible symbolic branches (feasibility decided by the SMT
+// solver), and produces one PathResult per finished path. A Listener
+// lets the Achilles core hook branch events (to prune states that can no
+// longer accept Trojan messages) and accept events (to emit Trojans), as
+// described in Section 3.2 / Figure 7 of the paper.
+
+#ifndef ACHILLES_SYMEXEC_ENGINE_H_
+#define ACHILLES_SYMEXEC_ENGINE_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "smt/solver.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "symexec/program.h"
+#include "symexec/state.h"
+
+namespace achilles {
+namespace symexec {
+
+/** Execution mode: which side of the protocol is being analyzed. */
+enum class Mode : uint8_t {
+    kClient,  ///< capture sent messages; ReadInput is the symbolic source
+    kServer,  ///< feed a symbolic message; classify accept/reject
+};
+
+/** State selection order. */
+enum class SearchOrder : uint8_t { kDfs, kBfs, kRandom };
+
+/** Engine tunables. */
+struct EngineConfig
+{
+    SearchOrder order = SearchOrder::kDfs;
+    /** Stop a client path at its first SendMessage (the paper analyzes
+     *  one message per path). */
+    bool stop_client_after_send = true;
+    size_t max_states = 1 << 20;
+    size_t max_steps_per_state = 1 << 16;
+    size_t max_finished_paths = 1 << 20;
+    uint64_t random_seed = 1;
+    /**
+     * Error-reply classification (the paper's "4xx status code"
+     * extension of the default accept/reject rule): a server reply
+     * whose first byte is concretely one of these values counts as an
+     * error signal, not an acceptance.
+     */
+    std::vector<uint8_t> error_reply_codes;
+};
+
+/** Summary of one finished execution path. */
+struct PathResult
+{
+    uint64_t state_id = 0;
+    PathOutcome outcome = PathOutcome::kRunning;
+    std::vector<smt::ExprRef> constraints;
+    std::vector<SentMessage> sent;
+    std::string accept_label;
+    size_t depth = 0;
+};
+
+/** Hook interface for the Achilles core (and tests). */
+class Listener
+{
+  public:
+    virtual ~Listener() = default;
+
+    /**
+     * A state just took a branch, appending `constraint` to its path
+     * condition. Return false to kill the state (prune the subtree).
+     */
+    virtual bool
+    OnBranch(State &state, smt::ExprRef constraint)
+    {
+        (void)state;
+        (void)constraint;
+        return true;
+    }
+
+    /** A path reached accepting classification (before finalization). */
+    virtual void OnAccept(State &state) { (void)state; }
+
+    /** A path finished with any outcome. */
+    virtual void OnPathFinished(const PathResult &result) { (void)result; }
+};
+
+/**
+ * The symbolic execution engine.
+ *
+ * One Engine instance explores one program in one mode. The incoming
+ * message variables (server mode) are created once per Run so that every
+ * path constrains the same message variables -- the property the Trojan
+ * difference computation relies on.
+ */
+class Engine
+{
+  public:
+    Engine(smt::ExprContext *ctx, smt::Solver *solver,
+           const Program *program, Mode mode, EngineConfig config = {});
+
+    /** Provide the symbolic message bytes served by ReceiveMessage. */
+    void SetIncomingMessage(std::vector<smt::ExprRef> bytes);
+    const std::vector<smt::ExprRef> &incoming_message() const
+    {
+        return incoming_;
+    }
+
+    void SetListener(Listener *listener) { listener_ = listener; }
+
+    /** Explore all paths; returns results for every finished path. */
+    std::vector<PathResult> Run();
+
+    const StatsRegistry &stats() const { return stats_; }
+
+  private:
+    smt::ExprRef EvalExpr(State &state, const DExprRef &e);
+    smt::ExprRef ReadArrayCell(State &state, ArrayObject &array,
+                               smt::ExprRef index);
+    void ExecuteStep(State &state,
+                     std::vector<std::unique_ptr<State>> *spawned);
+    void FinalizePath(State &state, PathOutcome outcome);
+    bool Feasible(const State &state, smt::ExprRef extra);
+    std::unique_ptr<State> PopNext();
+
+    smt::ExprContext *ctx_;
+    smt::Solver *solver_;
+    const Program *program_;
+    Mode mode_;
+    EngineConfig config_;
+    Listener *listener_ = nullptr;
+    std::vector<smt::ExprRef> incoming_;
+    uint32_t entry_func_ = 0;
+    std::deque<std::unique_ptr<State>> worklist_;
+    std::vector<PathResult> results_;
+    uint64_t next_state_id_ = 0;
+    Rng rng_;
+    StatsRegistry stats_;
+};
+
+}  // namespace symexec
+}  // namespace achilles
+
+#endif  // ACHILLES_SYMEXEC_ENGINE_H_

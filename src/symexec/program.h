@@ -1,0 +1,746 @@
+// Achilles reproduction -- symbolic execution engine.
+//
+// The protocol DSL: a small typed imperative language in which the
+// distributed-system nodes under test (clients and servers) are written.
+// This substitutes for the x86 binaries the paper runs inside S2E -- the
+// Achilles algorithm only consumes (symbolic message buffers, path
+// constraints), which this engine produces the same way.
+//
+// Programs are built with ProgramBuilder, which emits a flat instruction
+// list per function (control flow lowered to branches/jumps) so that
+// execution states can be forked cheaply by copying a program counter.
+//
+// Environment model (the paper's S2E/LD_PRELOAD interception analogue):
+//   ReadInput()      -- client "local input" syscall, returns fresh
+//                       symbolic data
+//   ReceiveMessage() -- server receive, yields the symbolic message
+//   SendMessage()    -- client send (captures the message + constraints);
+//                       server reply (drives accept classification)
+//   MarkAccept/MarkReject, DropPath, MakeSymbolic, AssumeRange --
+//                       the paper's Section 5.2 annotations
+
+#ifndef ACHILLES_SYMEXEC_PROGRAM_H_
+#define ACHILLES_SYMEXEC_PROGRAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "smt/expr.h"
+#include "support/logging.h"
+
+namespace achilles {
+namespace symexec {
+
+// ---------------------------------------------------------------------
+// DSL expressions
+// ---------------------------------------------------------------------
+
+/** Node type of a DSL expression. */
+enum class DKind : uint8_t {
+    kConst,
+    kVarRef,    ///< named local variable
+    kArrayRef,  ///< array cell read: name + index expression
+    kOp,        ///< smt-kind operation over operand expressions
+};
+
+struct DExpr;
+using DExprRef = std::shared_ptr<const DExpr>;
+
+/**
+ * DSL expression tree. Pure (no side effects); evaluated against an
+ * execution state's symbolic store to yield an smt::ExprRef.
+ */
+struct DExpr
+{
+    DKind kind = DKind::kConst;
+    uint32_t width = 0;
+    uint64_t value = 0;       ///< const value / extract offset
+    std::string name;         ///< var or array name
+    smt::Kind op = smt::Kind::kConst;  ///< for kOp nodes
+    std::vector<DExprRef> kids;
+};
+
+/**
+ * Value wrapper providing operator overloading for readable protocol
+ * code: `b.If(cmd == kRead && addr < 100, ...)`.
+ *
+ * Comparison operators return width-1 Vals; `&&`/`||` are provided as
+ * And/Or on width-1 values (no short-circuit -- DSL expressions are
+ * pure, so this is sound).
+ */
+class Val
+{
+  public:
+    Val() = default;
+    explicit Val(DExprRef node) : node_(std::move(node)) {}
+
+    /** Literal constant of an explicit width. */
+    static Val
+    Const(uint32_t width, uint64_t value)
+    {
+        auto n = std::make_shared<DExpr>();
+        n->kind = DKind::kConst;
+        n->width = width;
+        n->value = value & smt::WidthMask(width);
+        return Val(n);
+    }
+
+    const DExprRef &node() const { return node_; }
+    uint32_t width() const { return node_ ? node_->width : 0; }
+    bool valid() const { return node_ != nullptr; }
+
+    // Structural operations.
+    Val ZExt(uint32_t width) const { return Resize(smt::Kind::kZExt, width); }
+    Val SExt(uint32_t width) const { return Resize(smt::Kind::kSExt, width); }
+
+    Val
+    Extract(uint32_t offset, uint32_t width) const
+    {
+        auto n = std::make_shared<DExpr>();
+        n->kind = DKind::kOp;
+        n->op = smt::Kind::kExtract;
+        n->width = width;
+        n->value = offset;
+        n->kids = {node_};
+        return Val(n);
+    }
+
+    /** Concatenate: this becomes the high part. */
+    Val
+    Concat(const Val &low) const
+    {
+        auto n = std::make_shared<DExpr>();
+        n->kind = DKind::kOp;
+        n->op = smt::Kind::kConcat;
+        n->width = width() + low.width();
+        n->kids = {node_, low.node()};
+        return Val(n);
+    }
+
+    // Arithmetic / bitwise operators.
+    friend Val operator+(const Val &a, const Val &b)
+    {
+        return Binary(smt::Kind::kAdd, a, b);
+    }
+    friend Val operator-(const Val &a, const Val &b)
+    {
+        return Binary(smt::Kind::kSub, a, b);
+    }
+    friend Val operator*(const Val &a, const Val &b)
+    {
+        return Binary(smt::Kind::kMul, a, b);
+    }
+    friend Val operator/(const Val &a, const Val &b)
+    {
+        return Binary(smt::Kind::kUDiv, a, b);
+    }
+    friend Val operator%(const Val &a, const Val &b)
+    {
+        return Binary(smt::Kind::kURem, a, b);
+    }
+    friend Val operator&(const Val &a, const Val &b)
+    {
+        return Binary(smt::Kind::kAnd, a, b);
+    }
+    friend Val operator|(const Val &a, const Val &b)
+    {
+        return Binary(smt::Kind::kOr, a, b);
+    }
+    friend Val operator^(const Val &a, const Val &b)
+    {
+        return Binary(smt::Kind::kXor, a, b);
+    }
+    friend Val operator<<(const Val &a, const Val &b)
+    {
+        return Binary(smt::Kind::kShl, a, b);
+    }
+    friend Val operator>>(const Val &a, const Val &b)
+    {
+        return Binary(smt::Kind::kLShr, a, b);
+    }
+    Val
+    operator~() const
+    {
+        auto n = std::make_shared<DExpr>();
+        n->kind = DKind::kOp;
+        n->op = smt::Kind::kNot;
+        n->width = width();
+        n->kids = {node_};
+        return Val(n);
+    }
+
+    // Comparisons (width-1 results). Unsigned by default; signed
+    // variants are explicit methods, mirroring how protocol code usually
+    // treats message fields as unsigned.
+    friend Val operator==(const Val &a, const Val &b)
+    {
+        return Compare(smt::Kind::kEq, a, b);
+    }
+    friend Val operator!=(const Val &a, const Val &b)
+    {
+        return !Compare(smt::Kind::kEq, a, b);
+    }
+    friend Val operator<(const Val &a, const Val &b)
+    {
+        return Compare(smt::Kind::kUlt, a, b);
+    }
+    friend Val operator<=(const Val &a, const Val &b)
+    {
+        return Compare(smt::Kind::kUle, a, b);
+    }
+    friend Val operator>(const Val &a, const Val &b)
+    {
+        return Compare(smt::Kind::kUlt, b, a);
+    }
+    friend Val operator>=(const Val &a, const Val &b)
+    {
+        return Compare(smt::Kind::kUle, b, a);
+    }
+    Val Slt(const Val &b) const { return Compare(smt::Kind::kSlt, *this, b); }
+    Val Sle(const Val &b) const { return Compare(smt::Kind::kSle, *this, b); }
+    Val Sgt(const Val &b) const { return Compare(smt::Kind::kSlt, b, *this); }
+    Val Sge(const Val &b) const { return Compare(smt::Kind::kSle, b, *this); }
+
+    /** Logical negation of a width-1 value. */
+    Val
+    operator!() const
+    {
+        ACHILLES_CHECK(width() == 1, "logical ! on non-boolean");
+        return ~(*this);
+    }
+    friend Val operator&&(const Val &a, const Val &b)
+    {
+        ACHILLES_CHECK(a.width() == 1 && b.width() == 1);
+        return a & b;
+    }
+    friend Val operator||(const Val &a, const Val &b)
+    {
+        ACHILLES_CHECK(a.width() == 1 && b.width() == 1);
+        return a | b;
+    }
+
+    // Mixed Val/integer conveniences (the literal adopts the Val width).
+    friend Val operator+(const Val &a, uint64_t c)
+    {
+        return a + Const(a.width(), c);
+    }
+    friend Val operator-(const Val &a, uint64_t c)
+    {
+        return a - Const(a.width(), c);
+    }
+    friend Val operator==(const Val &a, uint64_t c)
+    {
+        return a == Const(a.width(), c);
+    }
+    friend Val operator!=(const Val &a, uint64_t c)
+    {
+        return a != Const(a.width(), c);
+    }
+    friend Val operator<(const Val &a, uint64_t c)
+    {
+        return a < Const(a.width(), c);
+    }
+    friend Val operator<=(const Val &a, uint64_t c)
+    {
+        return a <= Const(a.width(), c);
+    }
+    friend Val operator>(const Val &a, uint64_t c)
+    {
+        return a > Const(a.width(), c);
+    }
+    friend Val operator>=(const Val &a, uint64_t c)
+    {
+        return a >= Const(a.width(), c);
+    }
+    friend Val operator&(const Val &a, uint64_t c)
+    {
+        return a & Const(a.width(), c);
+    }
+    friend Val operator^(const Val &a, uint64_t c)
+    {
+        return a ^ Const(a.width(), c);
+    }
+
+  private:
+    static Val
+    Binary(smt::Kind op, const Val &a, const Val &b)
+    {
+        ACHILLES_CHECK(a.width() == b.width(),
+                       "width mismatch in DSL op: ", a.width(), " vs ",
+                       b.width());
+        auto n = std::make_shared<DExpr>();
+        n->kind = DKind::kOp;
+        n->op = op;
+        n->width = a.width();
+        n->kids = {a.node(), b.node()};
+        return Val(n);
+    }
+
+    static Val
+    Compare(smt::Kind op, const Val &a, const Val &b)
+    {
+        ACHILLES_CHECK(a.width() == b.width(),
+                       "width mismatch in DSL cmp: ", a.width(), " vs ",
+                       b.width());
+        auto n = std::make_shared<DExpr>();
+        n->kind = DKind::kOp;
+        n->op = op;
+        n->width = 1;
+        n->kids = {a.node(), b.node()};
+        return Val(n);
+    }
+
+    Val
+    Resize(smt::Kind op, uint32_t new_width) const
+    {
+        auto n = std::make_shared<DExpr>();
+        n->kind = DKind::kOp;
+        n->op = op;
+        n->width = new_width;
+        n->kids = {node_};
+        return Val(n);
+    }
+
+    DExprRef node_;
+};
+
+// ---------------------------------------------------------------------
+// Instructions and programs
+// ---------------------------------------------------------------------
+
+/** Opcode of one lowered instruction. */
+enum class IOp : uint8_t {
+    kDeclare,       ///< declare local `dest` (width `a`), optional init e0
+    kDeclArray,     ///< declare array `array`, elem width `a`, length `b`
+    kAssign,        ///< dest = e0
+    kAStore,        ///< array[e0] = e1
+    kBranch,        ///< if (e0 != 0) goto a else goto b
+    kJump,          ///< goto a
+    kCall,          ///< dest = call function #a (args)
+    kRet,           ///< return e0 (may be empty for void)
+    kHalt,          ///< terminate the path
+    kReadInput,     ///< dest = fresh symbolic input (width a)
+    kRecv,          ///< fill `array` with the incoming message bytes
+    kSend,          ///< send `array` (captures / marks reply)
+    kMarkAccept,    ///< classify path as accepting and finalize
+    kMarkReject,    ///< classify path as rejecting and finalize
+    kAssume,        ///< constrain e0 != 0 (drop path if infeasible)
+    kDropPath,      ///< silently kill the path
+    kMakeSymbolic,  ///< dest = fresh unconstrained symbolic (width a)
+};
+
+/** One lowered instruction. */
+struct Instr
+{
+    Instr() = default;
+    Instr(IOp o) : op(o) {}  // NOLINT: implicit by design for Emit({op})
+
+    IOp op = IOp::kHalt;
+    std::string dest;
+    std::string array;
+    DExprRef e0;
+    DExprRef e1;
+    uint32_t a = 0;
+    uint32_t b = 0;
+    std::vector<DExprRef> args;
+    std::string label;  ///< debug / annotation label
+};
+
+/** A function: parameters and a flat instruction list. */
+struct Function
+{
+    std::string name;
+    std::vector<std::pair<std::string, uint32_t>> params;  // name, width
+    uint32_t ret_width = 0;  ///< 0 for void
+    std::vector<Instr> instrs;
+};
+
+/** A complete DSL program; function 0 is the entry point. */
+struct Program
+{
+    std::string name;
+    std::vector<Function> functions;
+
+    const Function &
+    FunctionByIndex(uint32_t idx) const
+    {
+        ACHILLES_CHECK(idx < functions.size());
+        return functions[idx];
+    }
+
+    int
+    FindFunction(const std::string &fname) const
+    {
+        for (size_t i = 0; i < functions.size(); ++i)
+            if (functions[i].name == fname)
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    /** Total instruction count across functions (for stats). */
+    size_t
+    TotalInstructions() const
+    {
+        size_t n = 0;
+        for (const auto &f : functions)
+            n += f.instrs.size();
+        return n;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+/**
+ * Structured program construction. Control flow is expressed with
+ * lambdas; the builder lowers it to branches/jumps with back-patching:
+ *
+ *   ProgramBuilder b("server");
+ *   b.Function("main", {}, 0, [&] {
+ *       Val msg0 = ...;
+ *       b.If(msg0 == kRead, [&] { ... }, [&] { ... });
+ *   });
+ *   Program p = b.Build();
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string program_name)
+    {
+        program_.name = std::move(program_name);
+    }
+
+    /** Define a function; `body` runs immediately to emit instructions. */
+    void
+    Function(const std::string &name,
+             const std::vector<std::pair<std::string, uint32_t>> &params,
+             uint32_t ret_width, const std::function<void()> &body)
+    {
+        ACHILLES_CHECK(program_.FindFunction(name) < 0,
+                       "duplicate function ", name);
+        ACHILLES_CHECK(current_ < 0, "nested Function() definitions");
+        achilles::symexec::Function fn;
+        fn.name = name;
+        fn.params = params;
+        fn.ret_width = ret_width;
+        program_.functions.push_back(std::move(fn));
+        current_ = static_cast<int>(program_.functions.size()) - 1;
+        body();
+        // Implicit halt/return at the end of a function body.
+        if (ret_width == 0)
+            Emit({IOp::kRet});
+        else
+            Emit({IOp::kHalt});
+        current_ = -1;
+    }
+
+    // -- Declarations --------------------------------------------------
+
+    /** Declare and initialize a local; returns a reference Val. */
+    Val
+    Local(const std::string &name, uint32_t width, const Val &init = Val())
+    {
+        Instr ins{IOp::kDeclare};
+        ins.dest = name;
+        ins.a = width;
+        if (init.valid()) {
+            ACHILLES_CHECK(init.width() == width,
+                           "init width mismatch for ", name);
+            ins.e0 = init.node();
+        }
+        Emit(std::move(ins));
+        return Var(name, width);
+    }
+
+    /** Reference an already-declared variable. */
+    static Val
+    Var(const std::string &name, uint32_t width)
+    {
+        auto n = std::make_shared<DExpr>();
+        n->kind = DKind::kVarRef;
+        n->width = width;
+        n->name = name;
+        return Val(n);
+    }
+
+    /** Declare a local array of `len` cells of `elem_width` bits. */
+    void
+    Array(const std::string &name, uint32_t elem_width, uint32_t len)
+    {
+        Instr ins{IOp::kDeclArray};
+        ins.array = name;
+        ins.a = elem_width;
+        ins.b = len;
+        Emit(std::move(ins));
+    }
+
+    /** Array cell read expression. */
+    static Val
+    ArrayAt(const std::string &name, uint32_t elem_width, const Val &index)
+    {
+        auto n = std::make_shared<DExpr>();
+        n->kind = DKind::kArrayRef;
+        n->width = elem_width;
+        n->name = name;
+        n->kids = {index.node()};
+        return Val(n);
+    }
+
+    // -- Statements -----------------------------------------------------
+
+    void
+    Assign(const Val &var_ref, const Val &value)
+    {
+        ACHILLES_CHECK(var_ref.node() &&
+                           var_ref.node()->kind == DKind::kVarRef,
+                       "Assign target must be a variable reference");
+        ACHILLES_CHECK(var_ref.width() == value.width(),
+                       "assign width mismatch for ", var_ref.node()->name);
+        Instr ins{IOp::kAssign};
+        ins.dest = var_ref.node()->name;
+        ins.e0 = value.node();
+        Emit(std::move(ins));
+    }
+
+    void
+    Store(const std::string &array, const Val &index, const Val &value)
+    {
+        Instr ins{IOp::kAStore};
+        ins.array = array;
+        ins.e0 = index.node();
+        ins.e1 = value.node();
+        Emit(std::move(ins));
+    }
+
+    void
+    If(const Val &cond, const std::function<void()> &then_body,
+       const std::function<void()> &else_body = nullptr)
+    {
+        ACHILLES_CHECK(cond.width() == 1, "If condition must be width 1");
+        const uint32_t branch_pc = EmitIndex({IOp::kBranch});
+        Cur()[branch_pc].e0 = cond.node();
+        Cur()[branch_pc].a = branch_pc + 1;  // then starts right after
+        then_body();
+        if (else_body) {
+            const uint32_t jump_pc = EmitIndex({IOp::kJump});
+            Cur()[branch_pc].b = NextPc();
+            else_body();
+            Cur()[jump_pc].a = NextPc();
+        } else {
+            Cur()[branch_pc].b = NextPc();
+        }
+    }
+
+    /**
+     * Bounded loop: `cond` is re-evaluated at the head each iteration.
+     * The engine's per-path step limit bounds runaway loops.
+     */
+    void
+    While(const Val &cond, const std::function<void()> &body)
+    {
+        ACHILLES_CHECK(cond.width() == 1);
+        const uint32_t head = NextPc();
+        const uint32_t branch_pc = EmitIndex({IOp::kBranch});
+        Cur()[branch_pc].e0 = cond.node();
+        Cur()[branch_pc].a = branch_pc + 1;
+        body();
+        Instr jump{IOp::kJump};
+        jump.a = head;
+        Emit(std::move(jump));
+        Cur()[branch_pc].b = NextPc();
+    }
+
+    /** Counted loop with a concrete trip count; unrolled at build time. */
+    void
+    For(uint32_t count, const std::function<void(uint32_t)> &body)
+    {
+        for (uint32_t i = 0; i < count; ++i)
+            body(i);
+    }
+
+    /** Switch lowered to an if/else chain (paper Figure 2 style). */
+    void
+    Switch(const Val &scrutinee,
+           const std::vector<std::pair<uint64_t, std::function<void()>>>
+               &cases,
+           const std::function<void()> &default_body = nullptr)
+    {
+        // Recursive lowering keeps back-patching simple.
+        std::function<void(size_t)> lower = [&](size_t i) {
+            if (i == cases.size()) {
+                if (default_body)
+                    default_body();
+                return;
+            }
+            If(scrutinee == Val::Const(scrutinee.width(), cases[i].first),
+               cases[i].second, [&] { lower(i + 1); });
+        };
+        lower(0);
+    }
+
+    /** Call a previously defined function; returns its value (if any). */
+    Val
+    Call(const std::string &fname, const std::vector<Val> &args)
+    {
+        const int idx = program_.FindFunction(fname);
+        ACHILLES_CHECK(idx >= 0, "call to unknown function ", fname);
+        const auto &callee = program_.functions[idx];
+        ACHILLES_CHECK(args.size() == callee.params.size(),
+                       "arity mismatch calling ", fname);
+        Instr ins{IOp::kCall};
+        ins.a = static_cast<uint32_t>(idx);
+        for (size_t i = 0; i < args.size(); ++i) {
+            ACHILLES_CHECK(args[i].width() == callee.params[i].second,
+                           "arg width mismatch calling ", fname);
+            ins.args.push_back(args[i].node());
+        }
+        Val result;
+        if (callee.ret_width > 0) {
+            const std::string tmp =
+                "%call" + std::to_string(temp_counter_++);
+            ins.dest = tmp;
+            result = Var(tmp, callee.ret_width);
+        }
+        Emit(std::move(ins));
+        return result;
+    }
+
+    void
+    Return(const Val &value = Val())
+    {
+        Instr ins{IOp::kRet};
+        ins.e0 = value.node();
+        Emit(std::move(ins));
+    }
+
+    void Halt() { Emit({IOp::kHalt}); }
+
+    // -- Environment / annotations (paper Section 5) --------------------
+
+    /** Client local-input interception: fresh symbolic input. */
+    Val
+    ReadInput(const std::string &name, uint32_t width)
+    {
+        Instr ins{IOp::kReadInput};
+        ins.dest = name;
+        ins.a = width;
+        ins.label = name;
+        Emit(std::move(ins));
+        return Var(name, width);
+    }
+
+    /** Server receive: binds the incoming message to `array`. */
+    void
+    ReceiveMessage(const std::string &array, uint32_t len)
+    {
+        Instr ins{IOp::kRecv};
+        ins.array = array;
+        ins.a = 8;
+        ins.b = len;
+        Emit(std::move(ins));
+    }
+
+    /** Send the contents of `array` (client capture / server reply). */
+    void
+    SendMessage(const std::string &array, const std::string &label = "")
+    {
+        Instr ins{IOp::kSend};
+        ins.array = array;
+        ins.label = label;
+        Emit(std::move(ins));
+    }
+
+    /** mark_accept annotation: accepting path, triggers Trojan check. */
+    void
+    MarkAccept(const std::string &label = "")
+    {
+        Instr ins{IOp::kMarkAccept};
+        ins.label = label;
+        Emit(std::move(ins));
+    }
+
+    /** mark_reject annotation: rejecting path. */
+    void
+    MarkReject(const std::string &label = "")
+    {
+        Instr ins{IOp::kMarkReject};
+        ins.label = label;
+        Emit(std::move(ins));
+    }
+
+    /** Constrain the path (drop it where the condition cannot hold). */
+    void
+    Assume(const Val &cond)
+    {
+        ACHILLES_CHECK(cond.width() == 1);
+        Instr ins{IOp::kAssume};
+        ins.e0 = cond.node();
+        Emit(std::move(ins));
+    }
+
+    /** drop_path annotation (guarded drop == Assume(!cond) sugar). */
+    void DropPath() { Emit({IOp::kDropPath}); }
+
+    /** make_symbolic annotation: havoc a variable. */
+    Val
+    MakeSymbolic(const std::string &name, uint32_t width)
+    {
+        Instr ins{IOp::kMakeSymbolic};
+        ins.dest = name;
+        ins.a = width;
+        ins.label = name;
+        Emit(std::move(ins));
+        return Var(name, width);
+    }
+
+    /**
+     * The paper's function over-approximation idiom
+     * (function_start/return_symbolic/drop_path/function_end): returns a
+     * fresh symbolic value constrained to [lo, hi].
+     */
+    Val
+    OverApproximate(const std::string &name, uint32_t width, uint64_t lo,
+                    uint64_t hi)
+    {
+        Val v = MakeSymbolic(name, width);
+        Assume(v >= Val::Const(width, lo));
+        Assume(v <= Val::Const(width, hi));
+        return v;
+    }
+
+    Program Build() { return std::move(program_); }
+
+  private:
+    std::vector<Instr> &
+    Cur()
+    {
+        ACHILLES_CHECK(current_ >= 0, "statement outside Function()");
+        return program_.functions[current_].instrs;
+    }
+
+    uint32_t NextPc() { return static_cast<uint32_t>(Cur().size()); }
+
+    void Emit(Instr ins) { Cur().push_back(std::move(ins)); }
+
+    uint32_t
+    EmitIndex(Instr ins)
+    {
+        const uint32_t pc = NextPc();
+        Emit(std::move(ins));
+        return pc;
+    }
+
+    Program program_;
+    int current_ = -1;
+    uint64_t temp_counter_ = 0;
+};
+
+}  // namespace symexec
+}  // namespace achilles
+
+#endif  // ACHILLES_SYMEXEC_PROGRAM_H_

@@ -1,0 +1,118 @@
+// Achilles reproduction -- tests.
+//
+// MessageLayout, CanonicalHasher and report-formatting unit tests.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/message.h"
+#include "core/path_predicate.h"
+#include "core/report.h"
+#include "smt/expr.h"
+
+namespace achilles {
+namespace core {
+namespace {
+
+TEST(MessageLayoutTest, FieldsAndMasks)
+{
+    MessageLayout layout(8);
+    layout.AddField("a", 0, 2).AddField("b", 2, 4).AddField("c", 6, 2);
+    layout.Mask("b");
+
+    EXPECT_EQ(layout.length(), 8u);
+    EXPECT_EQ(layout.fields().size(), 3u);
+    EXPECT_TRUE(layout.IsMasked("b"));
+    EXPECT_FALSE(layout.IsMasked("a"));
+    ASSERT_NE(layout.Find("c"), nullptr);
+    EXPECT_EQ(layout.Find("c")->offset, 6u);
+    EXPECT_EQ(layout.Find("missing"), nullptr);
+
+    const auto analyzed = layout.AnalyzedFields();
+    ASSERT_EQ(analyzed.size(), 2u);
+    EXPECT_EQ(analyzed[0].name, "a");
+    EXPECT_EQ(analyzed[1].name, "c");
+}
+
+TEST(MessageLayoutTest, FieldAtByte)
+{
+    MessageLayout layout(8);
+    layout.AddField("a", 0, 2).AddField("b", 4, 2);
+    ASSERT_NE(layout.FieldAtByte(1), nullptr);
+    EXPECT_EQ(layout.FieldAtByte(1)->name, "a");
+    EXPECT_EQ(layout.FieldAtByte(2), nullptr);  // gap byte
+    ASSERT_NE(layout.FieldAtByte(5), nullptr);
+    EXPECT_EQ(layout.FieldAtByte(5)->name, "b");
+    EXPECT_EQ(layout.FieldAtByte(7), nullptr);
+}
+
+TEST(MessageLayoutTest, FieldExprLittleEndian)
+{
+    smt::ExprContext ctx;
+    MessageLayout layout(3);
+    layout.AddField("wide", 0, 2).AddField("narrow", 2, 1);
+    std::vector<smt::ExprRef> bytes{ctx.MakeConst(8, 0x34),
+                                    ctx.MakeConst(8, 0x12),
+                                    ctx.MakeConst(8, 0xff)};
+    smt::ExprRef wide = layout.FieldExpr(&ctx, bytes,
+                                         *layout.Find("wide"));
+    ASSERT_TRUE(wide->IsConst());
+    EXPECT_EQ(wide->ConstValue(), 0x1234u);
+    EXPECT_EQ(wide->width(), 16u);
+    smt::ExprRef narrow = layout.FieldExpr(&ctx, bytes,
+                                           *layout.Find("narrow"));
+    EXPECT_EQ(narrow->ConstValue(), 0xffu);
+}
+
+TEST(CanonicalHasherTest, InvariantUnderAlphaRenaming)
+{
+    smt::ExprContext ctx;
+    CanonicalHasher hasher(&ctx);
+
+    // Same structure, different fresh variables.
+    smt::ExprRef x1 = ctx.FreshVar("x", 8);
+    smt::ExprRef x2 = ctx.FreshVar("x", 8);
+    smt::ExprRef e1 = ctx.MakeUlt(x1, ctx.MakeConst(8, 100));
+    smt::ExprRef e2 = ctx.MakeUlt(x2, ctx.MakeConst(8, 100));
+    EXPECT_EQ(hasher.HashExprs({e1}), hasher.HashExprs({e2}));
+
+    // Different constants hash differently.
+    smt::ExprRef e3 = ctx.MakeUlt(x2, ctx.MakeConst(8, 101));
+    EXPECT_NE(hasher.HashExprs({e1}), hasher.HashExprs({e3}));
+
+    // Variable *sharing* patterns are distinguished: (x+x) vs (x+y).
+    smt::ExprRef y = ctx.FreshVar("y", 8);
+    smt::ExprRef sum_xx = ctx.MakeAdd(x1, x1);
+    smt::ExprRef sum_xy = ctx.MakeAdd(x1, y);
+    EXPECT_NE(hasher.HashExprs({sum_xx}), hasher.HashExprs({sum_xy}));
+}
+
+TEST(CanonicalHasherTest, OrderSensitivityIsDeterministic)
+{
+    smt::ExprContext ctx;
+    CanonicalHasher hasher(&ctx);
+    smt::ExprRef x = ctx.FreshVar("x", 8);
+    smt::ExprRef a = ctx.MakeUlt(x, ctx.MakeConst(8, 10));
+    smt::ExprRef b = ctx.MakeUle(ctx.MakeConst(8, 2), x);
+    const uint64_t h1 = hasher.HashExprs({a, b});
+    const uint64_t h2 = hasher.HashExprs({a, b});
+    EXPECT_EQ(h1, h2);
+}
+
+TEST(ReportTest, ConcreteMessageRendering)
+{
+    MessageLayout layout(3);
+    layout.AddField("cmd", 0, 1).AddField("len", 1, 2);
+    layout.Mask("len");
+    std::ostringstream os;
+    PrintConcreteMessage(os, layout, {0x41, 0x02, 0x00});
+    const std::string s = os.str();
+    EXPECT_NE(s.find("41 02 00"), std::string::npos);
+    EXPECT_NE(s.find("cmd=65"), std::string::npos);
+    EXPECT_NE(s.find("len=2(masked)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace achilles

@@ -1,0 +1,265 @@
+// Achilles reproduction -- tests.
+//
+// Negate operator tests, following the cases of paper Section 3.2:
+// concrete fields, constrained pure-variable fields, complex expressions
+// with fresh-copy encoding, abandoned fields, and the Section 4.1
+// overlap soundness filter.
+
+#include <gtest/gtest.h>
+
+#include "core/message.h"
+#include "core/negate.h"
+#include "core/path_predicate.h"
+#include "smt/eval.h"
+#include "smt/solver.h"
+
+namespace achilles {
+namespace core {
+namespace {
+
+using smt::CheckResult;
+using smt::ExprContext;
+using smt::ExprRef;
+using smt::Model;
+using smt::Solver;
+
+class NegateTest : public ::testing::Test
+{
+  protected:
+    NegateTest() : solver(&ctx)
+    {
+        layout = core::MessageLayout(3);
+        layout.AddField("request", 0, 1)
+            .AddField("address", 1, 1)
+            .AddField("crc", 2, 1);
+        for (int i = 0; i < 3; ++i)
+            server_msg.push_back(ctx.FreshVar("M", 8));
+    }
+
+    NegateOperator
+    MakeOp()
+    {
+        return NegateOperator(&ctx, &solver, &layout, server_msg);
+    }
+
+    ExprContext ctx;
+    Solver solver;
+    MessageLayout layout;
+    std::vector<ExprRef> server_msg;
+};
+
+TEST_F(NegateTest, ConcreteFieldNegatesToDisequality)
+{
+    // pathC: request = READ (1), other fields unconstrained vars.
+    ClientPathPredicate pred;
+    pred.id = 0;
+    pred.bytes = {ctx.MakeConst(8, 1), ctx.FreshVar("a", 8),
+                  ctx.FreshVar("c", 8)};
+    auto op = MakeOp();
+    NegatedPredicate neg = op.Negate(pred);
+
+    // Only the concrete field yields a disjunct; the unconstrained vars
+    // are abandoned (their complement is empty).
+    ASSERT_EQ(neg.fields.size(), 1u);
+    EXPECT_EQ(neg.fields[0].field, "request");
+    EXPECT_TRUE(neg.fields[0].exact);
+    EXPECT_EQ(op.stats().abandoned_fields, 2u);
+
+    // The negation must be (M0 != 1): check both directions.
+    Model model;
+    ASSERT_EQ(solver.CheckSat({neg.fields[0].expr}, &model),
+              CheckResult::kSat);
+    EXPECT_NE(model.Get(server_msg[0]->VarId()), 1u);
+    EXPECT_EQ(solver.CheckSat({neg.fields[0].expr,
+                               ctx.MakeEq(server_msg[0],
+                                          ctx.MakeConst(8, 1))}),
+              CheckResult::kUnsat);
+}
+
+TEST_F(NegateTest, ConstrainedVariableFieldSubstitutes)
+{
+    // pathC: address = λ with 0 <= λ < 100 (paper Figure 8).
+    ExprRef lambda = ctx.FreshVar("addr", 8);
+    ClientPathPredicate pred;
+    pred.bytes = {ctx.MakeConst(8, 1), lambda, ctx.FreshVar("c", 8)};
+    pred.constraints = {
+        ctx.MakeSlt(lambda, ctx.MakeConst(8, 100)),
+        ctx.MakeSge(lambda, ctx.MakeConst(8, 0)),
+    };
+    auto op = MakeOp();
+    NegatedPredicate neg = op.Negate(pred);
+
+    ExprRef addr_neg = neg.FieldDisjunct("address");
+    ASSERT_NE(addr_neg, nullptr);
+
+    // The negation is exactly "address >= 100 or address < 0" (signed)
+    // phrased on the server's message variable. Check the boundary
+    // cases.
+    auto sat_with_addr = [&](uint64_t value) {
+        return solver.CheckSat(
+            {addr_neg,
+             ctx.MakeEq(server_msg[1], ctx.MakeConst(8, value))});
+    };
+    EXPECT_EQ(sat_with_addr(0), CheckResult::kUnsat);
+    EXPECT_EQ(sat_with_addr(99), CheckResult::kUnsat);
+    EXPECT_EQ(sat_with_addr(50), CheckResult::kUnsat);
+    EXPECT_EQ(sat_with_addr(100), CheckResult::kSat);   // 100 >= 100
+    EXPECT_EQ(sat_with_addr(0x80), CheckResult::kSat);  // negative
+    EXPECT_EQ(sat_with_addr(0xff), CheckResult::kSat);  // -1
+}
+
+TEST_F(NegateTest, ComplexExpressionUsesFreshCopies)
+{
+    // pathC: crc = 2*λ with λ < 50; the crc field negation keeps the
+    // functional form with fresh variables under negated constraints:
+    // M2 == 2*λ' ∧ λ' >= 50. (This matches the paper's example:
+    // negate((λ = 2x) ∧ (x > 0)) == (λ = 2x) ∧ (x <= 0).)
+    ExprRef x = ctx.FreshVar("x", 8);
+    ExprRef two_x = ctx.MakeMul(ctx.MakeConst(8, 2), x);
+    ClientPathPredicate pred;
+    pred.bytes = {ctx.MakeConst(8, 1), ctx.FreshVar("a", 8), two_x};
+    pred.constraints = {ctx.MakeUlt(x, ctx.MakeConst(8, 50))};
+    auto op = MakeOp();
+    NegatedPredicate neg = op.Negate(pred);
+
+    ExprRef crc_neg = neg.FieldDisjunct("crc");
+    // 2x mod 256 wraps: even values below 100 are reachable both with
+    // x < 50 and with x >= 50 (e.g. 2*3 == 2*131 mod 256), so the
+    // overlap filter must discard the negation entirely.
+    EXPECT_EQ(crc_neg, nullptr);
+    EXPECT_GE(op.stats().overlap_discarded, 1u);
+    EXPECT_FALSE(neg.exact);
+}
+
+TEST_F(NegateTest, ComplexExpressionWithoutOverlapIsKept)
+{
+    // crc = λ | 0x80 with λ < 0x80: value set is exactly [0x80, 0xff].
+    // Under the negated constraint (λ' >= 0x80) the expression still
+    // lands in [0x80, 0xff], so the overlap filter discards it. Use a
+    // genuinely partitioning example instead: crc = λ + 100 with
+    // λ <= 100 (no wrap: values 100..200); negated: λ' > 100 could wrap.
+    // Robust non-overlap case: crc = λ & 0x0f with λ <= 0x0f -- value
+    // set [0, 15] equals λ itself; negating gives λ' > 0x0f but
+    // λ' & 0x0f stays in [0,15]: overlap again. Conclusion: for
+    // non-injective byte functions overlap is the norm; verify instead
+    // that an injective affine map IS kept.
+    // crc = λ + 100 with λ < 100  ->  values [100, 199];
+    // λ' >= 100  ->  values [200, 255] ∪ [0, 99] (wrapped): disjoint!
+    ExprRef lam = ctx.FreshVar("lam", 8);
+    ExprRef affine = ctx.MakeAdd(lam, ctx.MakeConst(8, 100));
+    ClientPathPredicate pred;
+    pred.bytes = {ctx.MakeConst(8, 1), ctx.FreshVar("a", 8), affine};
+    pred.constraints = {ctx.MakeUlt(lam, ctx.MakeConst(8, 100))};
+    auto op = MakeOp();
+    NegatedPredicate neg = op.Negate(pred);
+
+    ExprRef crc_neg = neg.FieldDisjunct("crc");
+    ASSERT_NE(crc_neg, nullptr);
+    // The kept negation covers exactly the values NOT reachable by a
+    // correct client: crc in [200, 255] or [0, 99].
+    auto sat_with_crc = [&](uint64_t value) {
+        return solver.CheckSat(
+            {crc_neg,
+             ctx.MakeEq(server_msg[2], ctx.MakeConst(8, value))});
+    };
+    EXPECT_EQ(sat_with_crc(150), CheckResult::kUnsat);  // client value
+    EXPECT_EQ(sat_with_crc(100), CheckResult::kUnsat);
+    EXPECT_EQ(sat_with_crc(199), CheckResult::kUnsat);
+    EXPECT_EQ(sat_with_crc(200), CheckResult::kSat);
+    EXPECT_EQ(sat_with_crc(50), CheckResult::kSat);
+}
+
+TEST_F(NegateTest, MaskedFieldsAreSkipped)
+{
+    layout.Mask("crc");
+    ClientPathPredicate pred;
+    pred.bytes = {ctx.MakeConst(8, 1), ctx.MakeConst(8, 2),
+                  ctx.MakeConst(8, 3)};
+    auto op = MakeOp();
+    NegatedPredicate neg = op.Negate(pred);
+    EXPECT_EQ(neg.fields.size(), 2u);
+    EXPECT_EQ(neg.FieldDisjunct("crc"), nullptr);
+}
+
+TEST_F(NegateTest, ExactFlagRequiresFieldIndependence)
+{
+    // Two fields sharing the same variable are not a product set; the
+    // predicate must not be marked exact even though each field's
+    // negation is individually fine.
+    ExprRef shared = ctx.FreshVar("s", 8);
+    ClientPathPredicate pred;
+    pred.bytes = {shared, shared, ctx.MakeConst(8, 0)};
+    pred.constraints = {ctx.MakeUlt(shared, ctx.MakeConst(8, 10))};
+    auto op = MakeOp();
+    NegatedPredicate neg = op.Negate(pred);
+    EXPECT_FALSE(neg.exact);
+
+    // Independent fields with exact cases -> exact predicate.
+    ExprRef a = ctx.FreshVar("a", 8);
+    ClientPathPredicate pred2;
+    pred2.bytes = {ctx.MakeConst(8, 7), a, ctx.MakeConst(8, 0)};
+    pred2.constraints = {ctx.MakeUlt(a, ctx.MakeConst(8, 10))};
+    NegatedPredicate neg2 = op.Negate(pred2);
+    EXPECT_TRUE(neg2.exact);
+}
+
+TEST_F(NegateTest, DisjunctionCombinesFields)
+{
+    ExprRef a = ctx.FreshVar("a", 8);
+    ClientPathPredicate pred;
+    pred.bytes = {ctx.MakeConst(8, 7), a, ctx.MakeConst(8, 9)};
+    pred.constraints = {ctx.MakeUlt(a, ctx.MakeConst(8, 10))};
+    auto op = MakeOp();
+    NegatedPredicate neg = op.Negate(pred);
+    ExprRef disj = neg.Disjunction(&ctx);
+
+    // A message matching the predicate exactly fails the disjunction...
+    EXPECT_EQ(solver.CheckSat(
+                  {disj, ctx.MakeEq(server_msg[0], ctx.MakeConst(8, 7)),
+                   ctx.MakeUlt(server_msg[1], ctx.MakeConst(8, 10)),
+                   ctx.MakeEq(server_msg[2], ctx.MakeConst(8, 9))}),
+              CheckResult::kUnsat);
+    // ...but deviating in any single field satisfies it.
+    EXPECT_EQ(solver.CheckSat(
+                  {disj, ctx.MakeEq(server_msg[0], ctx.MakeConst(8, 8))}),
+              CheckResult::kSat);
+    EXPECT_EQ(solver.CheckSat(
+                  {disj, ctx.MakeEq(server_msg[1], ctx.MakeConst(8, 200))}),
+              CheckResult::kSat);
+}
+
+TEST_F(NegateTest, MultiByteFieldReassembly)
+{
+    // A 2-byte field whose bytes are extracts of one 16-bit input must
+    // be recognized as a pure variable (the concat-of-extracts folds).
+    core::MessageLayout wide_layout(3);
+    wide_layout.AddField("id", 0, 2).AddField("tag", 2, 1);
+    std::vector<ExprRef> msg{ctx.FreshVar("M", 8), ctx.FreshVar("M", 8),
+                             ctx.FreshVar("M", 8)};
+    ExprRef id = ctx.FreshVar("id", 16);
+    ClientPathPredicate pred;
+    pred.bytes = {ctx.MakeExtract(id, 0, 8), ctx.MakeExtract(id, 8, 8),
+                  ctx.MakeConst(8, 1)};
+    pred.constraints = {ctx.MakeUlt(id, ctx.MakeConst(16, 1000))};
+    NegateOperator op(&ctx, &solver, &wide_layout, msg);
+    NegatedPredicate neg = op.Negate(pred);
+    ExprRef id_neg = neg.FieldDisjunct("id");
+    ASSERT_NE(id_neg, nullptr);
+    EXPECT_TRUE(neg.exact);
+
+    // id >= 1000 satisfies, id < 1000 does not.
+    ExprRef server_id = wide_layout.FieldExpr(&ctx, msg,
+                                              *wide_layout.Find("id"));
+    EXPECT_EQ(solver.CheckSat({id_neg,
+                               ctx.MakeEq(server_id,
+                                          ctx.MakeConst(16, 500))}),
+              CheckResult::kUnsat);
+    EXPECT_EQ(solver.CheckSat({id_neg,
+                               ctx.MakeEq(server_id,
+                                          ctx.MakeConst(16, 1500))}),
+              CheckResult::kSat);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace achilles

@@ -1,0 +1,156 @@
+// Achilles reproduction -- tests.
+//
+// Witness refinement (the paper's Section 4.1 CEGAR-style extension)
+// and Trojan enumeration tests.
+//
+// The false-positive mechanism the paper describes -- "when the client
+// is under-approximated, a message m may only be generatable on the
+// execution paths that were not yet explored" -- is reproduced
+// deliberately: Achilles is run with an incomplete client set (7 of the
+// 8 FSP utilities), which makes every message of the missing utility a
+// suspected Trojan; refinement against the full client set then refutes
+// exactly those suspects.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/achilles.h"
+#include "core/refine.h"
+#include "proto/fsp/fsp_concrete.h"
+#include "proto/fsp/fsp_protocol.h"
+
+namespace achilles {
+namespace core {
+namespace {
+
+TEST(RefineTest, AllTrueTrojansAreConfirmed)
+{
+    smt::ExprContext ctx;
+    smt::Solver solver(&ctx);
+    const std::vector<symexec::Program> clients = fsp::MakeAllClients();
+    const symexec::Program server = fsp::MakeServer();
+
+    AchillesConfig config;
+    config.layout = fsp::MakeLayout();
+    std::vector<const symexec::Program *> client_ptrs;
+    for (const symexec::Program &c : clients)
+        client_ptrs.push_back(&c);
+    config.clients = client_ptrs;
+    config.server = &server;
+    const AchillesResult result = RunAchilles(&ctx, &solver, config);
+    ASSERT_FALSE(result.server.trojans.empty());
+
+    const RefinementResult refined = ConfirmWitnesses(
+        &ctx, &solver, client_ptrs, config.layout,
+        result.server.trojans);
+    EXPECT_EQ(refined.refuted, 0u)
+        << "a refuted witness would be a false positive";
+    EXPECT_EQ(refined.confirmed, result.server.trojans.size());
+}
+
+TEST(RefineTest, UnderApproximatedClientProducesRefutableWitnesses)
+{
+    smt::ExprContext ctx;
+    smt::Solver solver(&ctx);
+    const std::vector<symexec::Program> clients = fsp::MakeAllClients();
+    const symexec::Program server = fsp::MakeServer();
+
+    // Run Achilles with only 7 of the 8 utilities: messages of the
+    // missing one become suspected Trojans (false positives w.r.t. the
+    // real system).
+    AchillesConfig config;
+    config.layout = fsp::MakeLayout();
+    std::vector<const symexec::Program *> partial;
+    for (size_t i = 0; i + 1 < clients.size(); ++i)
+        partial.push_back(&clients[i]);
+    config.clients = partial;
+    config.server = &server;
+    const AchillesResult result = RunAchilles(&ctx, &solver, config);
+
+    const uint8_t missing_cmd = fsp::Utilities().back().cmd;
+    size_t false_positives = 0;
+    for (const TrojanWitness &t : result.server.trojans) {
+        const fsp::Bytes m(t.concrete.begin(), t.concrete.end());
+        if (!fsp::IsTrojan(m)) {
+            ++false_positives;
+            // Only the missing utility can explain a false positive.
+            EXPECT_EQ(m[fsp::kOffCmd], missing_cmd);
+        }
+    }
+    ASSERT_GT(false_positives, 0u)
+        << "the under-approximated run should produce suspects";
+
+    // Refinement against the FULL client set refutes exactly the false
+    // positives and confirms everything else.
+    std::vector<const symexec::Program *> full;
+    for (const symexec::Program &c : clients)
+        full.push_back(&c);
+    const RefinementResult refined = ConfirmWitnesses(
+        &ctx, &solver, full, config.layout, result.server.trojans);
+    ASSERT_EQ(refined.verdicts.size(), result.server.trojans.size());
+    for (size_t i = 0; i < refined.verdicts.size(); ++i) {
+        const fsp::Bytes m(result.server.trojans[i].concrete.begin(),
+                           result.server.trojans[i].concrete.end());
+        if (refined.verdicts[i] == WitnessVerdict::kRefuted)
+            EXPECT_FALSE(fsp::IsTrojan(m));
+        else
+            EXPECT_TRUE(fsp::IsTrojan(m));
+    }
+    EXPECT_EQ(refined.refuted, false_positives);
+}
+
+TEST(RefineTest, EnumerateTrojansProducesDistinctRealTrojans)
+{
+    smt::ExprContext ctx;
+    smt::Solver solver(&ctx);
+    const std::vector<symexec::Program> clients = fsp::MakeAllClients();
+    const symexec::Program server = fsp::MakeServer();
+
+    AchillesConfig config;
+    config.layout = fsp::MakeLayout();
+    for (const symexec::Program &c : clients)
+        config.clients.push_back(&c);
+    config.server = &server;
+    const AchillesResult result = RunAchilles(&ctx, &solver, config);
+    ASSERT_FALSE(result.server.trojans.empty());
+
+    const TrojanWitness &witness = result.server.trojans.front();
+    const auto enumerated =
+        EnumerateTrojans(&ctx, &solver, config.layout, witness, 10);
+    ASSERT_GE(enumerated.size(), 2u)
+        << "the definition should admit multiple concrete Trojans";
+
+    std::set<fsp::Bytes> unique;
+    for (const auto &m : enumerated) {
+        EXPECT_TRUE(fsp::IsTrojan(m)) << "enumerated non-Trojan";
+        unique.insert(fsp::Bytes(m.begin(), m.end()));
+    }
+    // Distinct on the analyzed bytes => distinct messages here.
+    EXPECT_EQ(unique.size(), enumerated.size());
+}
+
+TEST(RefineTest, EnumerationRespectsMaxCount)
+{
+    smt::ExprContext ctx;
+    smt::Solver solver(&ctx);
+    const std::vector<symexec::Program> clients = fsp::MakeAllClients();
+    const symexec::Program server = fsp::MakeServer();
+    AchillesConfig config;
+    config.layout = fsp::MakeLayout();
+    for (const symexec::Program &c : clients)
+        config.clients.push_back(&c);
+    config.server = &server;
+    const AchillesResult result = RunAchilles(&ctx, &solver, config);
+    ASSERT_FALSE(result.server.trojans.empty());
+    EXPECT_EQ(EnumerateTrojans(&ctx, &solver, config.layout,
+                               result.server.trojans.front(), 3).size(),
+              3u);
+    EXPECT_TRUE(EnumerateTrojans(&ctx, &solver, config.layout,
+                                 result.server.trojans.front(), 0)
+                    .empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace achilles

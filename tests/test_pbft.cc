@@ -1,0 +1,189 @@
+// Achilles reproduction -- tests.
+//
+// PBFT substrate tests: request encoding, the replica oracle, the
+// Achilles rediscovery of the MAC attack (Section 6.2/6.3), and the
+// concrete cluster's recovery-cost behavior.
+
+#include <gtest/gtest.h>
+
+#include "core/achilles.h"
+#include "proto/pbft/pbft_concrete.h"
+#include "proto/pbft/pbft_protocol.h"
+
+namespace achilles {
+namespace pbft {
+namespace {
+
+namespace {
+uint16_t
+Read16At(const std::vector<uint8_t> &m, uint32_t off)
+{
+    return static_cast<uint16_t>(m[off]) |
+           (static_cast<uint16_t>(m[off + 1]) << 8);
+}
+}  // namespace
+
+TEST(PbftWireTest, ValidRequestRoundTrip)
+{
+    const Bytes msg = EncodeRequest(3, 7, {1, 2, 3, 4});
+    EXPECT_TRUE(ReplicaAccepts(msg, /*last_rid=*/0));
+    EXPECT_TRUE(ClientCanGenerate(msg));
+    EXPECT_FALSE(IsTrojan(msg));
+}
+
+TEST(PbftWireTest, StaleRidRejected)
+{
+    const Bytes msg = EncodeRequest(3, 7, {1, 2, 3, 4});
+    EXPECT_FALSE(ReplicaAccepts(msg, /*last_rid=*/7));
+    EXPECT_FALSE(ReplicaAccepts(msg, /*last_rid=*/9));
+}
+
+TEST(PbftWireTest, UnknownClientRejected)
+{
+    const Bytes msg = EncodeRequest(kNumClients + 1, 7, {1, 2, 3, 4});
+    EXPECT_FALSE(ReplicaAccepts(msg, 0));
+}
+
+TEST(PbftWireTest, ReadOnlyTakesFastPath)
+{
+    const Bytes msg =
+        EncodeRequest(1, 7, {1, 2, 3, 4}, /*extra=*/kReadOnlyFlag);
+    EXPECT_FALSE(ReplicaAccepts(msg, 0)) << "no Pre_prepare for RO";
+}
+
+TEST(PbftWireTest, CorruptedMacIsTrojan)
+{
+    const Bytes msg = CorruptMac(EncodeRequest(1, 7, {1, 2, 3, 4}), 2);
+    // The vulnerable replica accepts it (never reads the MACs)...
+    EXPECT_TRUE(ReplicaAccepts(msg, 0));
+    // ...no correct client can produce it...
+    EXPECT_FALSE(ClientCanGenerate(msg));
+    EXPECT_TRUE(IsTrojan(msg));
+    // ...and the fixed replica rejects it.
+    ReplicaChecks fixed;
+    fixed.verify_mac = true;
+    EXPECT_FALSE(ReplicaAccepts(msg, 0, fixed));
+}
+
+TEST(PbftAchillesTest, RediscoversTheMacAttack)
+{
+    smt::ExprContext ctx;
+    smt::Solver solver(&ctx);
+
+    const symexec::Program client = MakeClient();
+    const symexec::Program replica = MakeReplica();
+
+    core::AchillesConfig config;
+    config.layout = MakeLayout();
+    config.clients = {&client};
+    config.server = &replica;
+
+    core::AchillesResult result = core::RunAchilles(&ctx, &solver, config);
+
+    // The client has a single path predicate (one request shape).
+    EXPECT_EQ(result.client_predicate.paths.size(), 1u);
+
+    // Trojans found, and every witness is a bad-MAC request (the only
+    // unverified constant field).
+    ASSERT_FALSE(result.server.trojans.empty());
+    for (const core::TrojanWitness &t : result.server.trojans) {
+        const Bytes msg(t.concrete.begin(), t.concrete.end());
+        bool some_bad_mac = false;
+        for (uint32_t r = 0; r < kNumReplicas; ++r)
+            some_bad_mac |= (Read16At(msg, kOffMac + 2 * r) != kValidMac);
+        EXPECT_TRUE(some_bad_mac)
+            << "witness should corrupt at least one authenticator";
+        // Ground truth (any last_rid below the witness rid works; use
+        // rid-1).
+        const uint16_t rid = Read16At(msg, kOffRid);
+        ASSERT_GE(rid, 1);
+        EXPECT_TRUE(IsTrojan(msg, static_cast<uint16_t>(rid - 1)));
+        // The Trojan shares its path with valid requests (Figure 7's
+        // bundled case; classic SE cannot separate them).
+        EXPECT_TRUE(t.bundled_with_valid);
+    }
+}
+
+TEST(PbftAchillesTest, FixedReplicaHasNoTrojans)
+{
+    smt::ExprContext ctx;
+    smt::Solver solver(&ctx);
+
+    const symexec::Program client = MakeClient();
+    ReplicaChecks fixed;
+    fixed.verify_mac = true;
+    const symexec::Program replica = MakeReplica(fixed);
+
+    core::AchillesConfig config;
+    config.layout = MakeLayout();
+    config.clients = {&client};
+    config.server = &replica;
+
+    core::AchillesResult result = core::RunAchilles(&ctx, &solver, config);
+    EXPECT_TRUE(result.server.trojans.empty());
+}
+
+TEST(PbftClusterTest, CleanWorkloadCommitsEverything)
+{
+    PbftCluster cluster;
+    Rng rng(42);
+    const WorkloadResult r = cluster.RunWorkload(1000, 0.0, &rng);
+    EXPECT_EQ(r.committed, 1000u);
+    EXPECT_EQ(r.recoveries, 0u);
+    EXPECT_GT(r.ThroughputOpsPerSec(), 0.0);
+}
+
+TEST(PbftClusterTest, TrojanRequestsTriggerRecovery)
+{
+    PbftCluster cluster;
+    Rng rng(42);
+    const WorkloadResult r = cluster.RunWorkload(1000, 0.2, &rng);
+    EXPECT_GT(r.recoveries, 100u);
+    EXPECT_LT(r.committed, 1000u);
+    EXPECT_EQ(r.committed + r.recoveries, 1000u);
+}
+
+TEST(PbftClusterTest, ThroughputCollapsesWithMacAttack)
+{
+    // Section 6.3: "a malicious client can corrupt its own messages in
+    // order to trigger the expensive recovery mechanism and slow down
+    // the system". Throughput must decrease monotonically (within
+    // noise) as the Trojan fraction rises.
+    Rng rng(7);
+    double last_throughput = 1e18;
+    for (double fraction : {0.0, 0.1, 0.3, 0.6}) {
+        PbftCluster cluster;
+        const WorkloadResult r =
+            cluster.RunWorkload(20000, fraction, &rng);
+        EXPECT_LT(r.ThroughputOpsPerSec(), last_throughput)
+            << "fraction=" << fraction;
+        last_throughput = r.ThroughputOpsPerSec();
+    }
+    // At 60% Trojans the cluster spends most time in recovery: the
+    // throughput drop versus clean load must exceed an order of
+    // magnitude with the default 100x recovery cost.
+    PbftCluster clean, attacked;
+    Rng rng2(9);
+    const double clean_tput =
+        clean.RunWorkload(20000, 0.0, &rng2).ThroughputOpsPerSec();
+    const double attacked_tput =
+        attacked.RunWorkload(20000, 0.6, &rng2).ThroughputOpsPerSec();
+    EXPECT_GT(clean_tput / attacked_tput, 10.0);
+}
+
+TEST(PbftClusterTest, FixedPrimaryStopsTheAttack)
+{
+    // With MAC verification at the primary, corrupted requests are
+    // rejected up front and never reach the recovery path.
+    ReplicaChecks fixed;
+    fixed.verify_mac = true;
+    PbftCluster cluster(ClusterCosts{}, fixed);
+    Rng rng(11);
+    const WorkloadResult r = cluster.RunWorkload(5000, 0.5, &rng);
+    EXPECT_EQ(r.recoveries, 0u);
+    EXPECT_GT(r.rejected_at_primary, 1000u);
+}
+
+}  // namespace
+}  // namespace pbft
+}  // namespace achilles

@@ -1,0 +1,250 @@
+// Achilles reproduction -- tests.
+//
+// Unit tests for the expression DAG: interning, canonicalization,
+// constant folding and structural helpers.
+
+#include <gtest/gtest.h>
+
+#include "smt/eval.h"
+#include "smt/expr.h"
+
+namespace achilles {
+namespace smt {
+namespace {
+
+class ExprTest : public ::testing::Test
+{
+  protected:
+    ExprContext ctx;
+};
+
+TEST_F(ExprTest, ConstantsAreInterned)
+{
+    ExprRef a = ctx.MakeConst(8, 42);
+    ExprRef b = ctx.MakeConst(8, 42);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, ctx.MakeConst(8, 43));
+    EXPECT_NE(a, ctx.MakeConst(16, 42));
+}
+
+TEST_F(ExprTest, ConstantsAreMaskedToWidth)
+{
+    ExprRef a = ctx.MakeConst(8, 0x1ff);
+    EXPECT_EQ(a->ConstValue(), 0xffu);
+    ExprRef b = ctx.MakeConst(64, ~0ull);
+    EXPECT_EQ(b->ConstValue(), ~0ull);
+}
+
+TEST_F(ExprTest, FreshVarsAreDistinct)
+{
+    ExprRef x = ctx.FreshVar("x", 8);
+    ExprRef y = ctx.FreshVar("x", 8);
+    EXPECT_NE(x, y);
+    EXPECT_NE(x->VarId(), y->VarId());
+    EXPECT_EQ(ctx.VarById(x->VarId()), x);
+}
+
+TEST_F(ExprTest, StructuralInterningSharesNodes)
+{
+    ExprRef x = ctx.FreshVar("x", 8);
+    ExprRef c = ctx.MakeConst(8, 7);
+    ExprRef s1 = ctx.MakeAdd(x, c);
+    ExprRef s2 = ctx.MakeAdd(x, c);
+    EXPECT_EQ(s1, s2);
+}
+
+TEST_F(ExprTest, CommutativeCanonicalization)
+{
+    ExprRef x = ctx.FreshVar("x", 8);
+    ExprRef c = ctx.MakeConst(8, 7);
+    EXPECT_EQ(ctx.MakeAdd(x, c), ctx.MakeAdd(c, x));
+    ExprRef y = ctx.FreshVar("y", 8);
+    EXPECT_EQ(ctx.MakeMul(x, y), ctx.MakeMul(y, x));
+    EXPECT_EQ(ctx.MakeEq(x, y), ctx.MakeEq(y, x));
+}
+
+TEST_F(ExprTest, ConstantFolding)
+{
+    ExprRef a = ctx.MakeConst(8, 200);
+    ExprRef b = ctx.MakeConst(8, 100);
+    EXPECT_EQ(ctx.MakeAdd(a, b)->ConstValue(), (200 + 100) & 0xff);
+    EXPECT_EQ(ctx.MakeSub(b, a)->ConstValue(), (100 - 200) & 0xff);
+    EXPECT_EQ(ctx.MakeMul(a, b)->ConstValue(), (200 * 100) & 0xff);
+    EXPECT_EQ(ctx.MakeUDiv(a, b)->ConstValue(), 2u);
+    EXPECT_EQ(ctx.MakeURem(a, b)->ConstValue(), 0u);
+    EXPECT_EQ(ctx.MakeAnd(a, b)->ConstValue(), 200u & 100u);
+    EXPECT_EQ(ctx.MakeOr(a, b)->ConstValue(), 200u | 100u);
+    EXPECT_EQ(ctx.MakeXor(a, b)->ConstValue(), 200u ^ 100u);
+}
+
+TEST_F(ExprTest, DivisionByZeroFollowsSmtLib)
+{
+    ExprRef a = ctx.MakeConst(8, 37);
+    ExprRef z = ctx.MakeConst(8, 0);
+    EXPECT_EQ(ctx.MakeUDiv(a, z)->ConstValue(), 0xffu);
+    EXPECT_EQ(ctx.MakeURem(a, z)->ConstValue(), 37u);
+}
+
+TEST_F(ExprTest, IdentitySimplifications)
+{
+    ExprRef x = ctx.FreshVar("x", 8);
+    ExprRef zero = ctx.MakeConst(8, 0);
+    ExprRef ones = ctx.MakeConst(8, 0xff);
+    EXPECT_EQ(ctx.MakeAdd(x, zero), x);
+    EXPECT_EQ(ctx.MakeSub(x, zero), x);
+    EXPECT_EQ(ctx.MakeSub(x, x), zero);
+    EXPECT_EQ(ctx.MakeMul(x, ctx.MakeConst(8, 1)), x);
+    EXPECT_EQ(ctx.MakeMul(x, zero), zero);
+    EXPECT_EQ(ctx.MakeAnd(x, zero), zero);
+    EXPECT_EQ(ctx.MakeAnd(x, ones), x);
+    EXPECT_EQ(ctx.MakeAnd(x, x), x);
+    EXPECT_EQ(ctx.MakeOr(x, zero), x);
+    EXPECT_EQ(ctx.MakeOr(x, ones), ones);
+    EXPECT_EQ(ctx.MakeXor(x, x), zero);
+    EXPECT_EQ(ctx.MakeXor(x, zero), x);
+    EXPECT_EQ(ctx.MakeNot(ctx.MakeNot(x)), x);
+}
+
+TEST_F(ExprTest, ComparisonSimplifications)
+{
+    ExprRef x = ctx.FreshVar("x", 8);
+    EXPECT_TRUE(ctx.MakeEq(x, x)->IsTrue());
+    EXPECT_TRUE(ctx.MakeUlt(x, x)->IsFalse());
+    EXPECT_TRUE(ctx.MakeUle(x, x)->IsTrue());
+    EXPECT_TRUE(ctx.MakeUlt(x, ctx.MakeConst(8, 0))->IsFalse());
+    EXPECT_TRUE(ctx.MakeUle(ctx.MakeConst(8, 0), x)->IsTrue());
+    EXPECT_TRUE(ctx.MakeSlt(x, x)->IsFalse());
+    EXPECT_TRUE(ctx.MakeSle(x, x)->IsTrue());
+}
+
+TEST_F(ExprTest, BooleanEqualitySimplifies)
+{
+    ExprRef p = ctx.FreshVar("p", 1);
+    EXPECT_EQ(ctx.MakeEq(p, ctx.True()), p);
+    EXPECT_EQ(ctx.MakeEq(p, ctx.False()), ctx.MakeNot(p));
+}
+
+TEST_F(ExprTest, IteSimplifications)
+{
+    ExprRef p = ctx.FreshVar("p", 1);
+    ExprRef a = ctx.FreshVar("a", 8);
+    ExprRef b = ctx.FreshVar("b", 8);
+    EXPECT_EQ(ctx.MakeIte(ctx.True(), a, b), a);
+    EXPECT_EQ(ctx.MakeIte(ctx.False(), a, b), b);
+    EXPECT_EQ(ctx.MakeIte(p, a, a), a);
+    EXPECT_EQ(ctx.MakeIte(p, ctx.True(), ctx.False()), p);
+    EXPECT_EQ(ctx.MakeIte(p, ctx.False(), ctx.True()), ctx.MakeNot(p));
+}
+
+TEST_F(ExprTest, ExtractAndConcat)
+{
+    ExprRef x = ctx.FreshVar("x", 8);
+    ExprRef y = ctx.FreshVar("y", 8);
+    ExprRef cat = ctx.MakeConcat(x, y);  // x:high, y:low
+    EXPECT_EQ(cat->width(), 16u);
+    EXPECT_EQ(ctx.MakeExtract(cat, 0, 8), y);
+    EXPECT_EQ(ctx.MakeExtract(cat, 8, 8), x);
+    EXPECT_EQ(ctx.MakeExtract(x, 0, 8), x);  // full extract is identity
+
+    ExprRef c = ctx.MakeConst(16, 0xabcd);
+    EXPECT_EQ(ctx.MakeExtract(c, 0, 8)->ConstValue(), 0xcdu);
+    EXPECT_EQ(ctx.MakeExtract(c, 8, 8)->ConstValue(), 0xabu);
+}
+
+TEST_F(ExprTest, NestedExtractFolds)
+{
+    ExprRef x = ctx.FreshVar("x", 32);
+    ExprRef e1 = ctx.MakeExtract(x, 8, 16);
+    ExprRef e2 = ctx.MakeExtract(e1, 4, 8);
+    // extract[4:+8](extract[8:+16](x)) == extract[12:+8](x)
+    EXPECT_EQ(e2, ctx.MakeExtract(x, 12, 8));
+}
+
+TEST_F(ExprTest, ZExtSExtFolding)
+{
+    ExprRef c = ctx.MakeConst(8, 0x80);
+    EXPECT_EQ(ctx.MakeZExt(c, 16)->ConstValue(), 0x80u);
+    EXPECT_EQ(ctx.MakeSExt(c, 16)->ConstValue(), 0xff80u);
+    ExprRef x = ctx.FreshVar("x", 8);
+    EXPECT_EQ(ctx.MakeZExt(x, 8), x);
+    EXPECT_EQ(ctx.MakeZExt(ctx.MakeZExt(x, 16), 32),
+              ctx.MakeZExt(x, 32));
+}
+
+TEST_F(ExprTest, ShiftFolding)
+{
+    ExprRef c = ctx.MakeConst(8, 0xf0);
+    ExprRef four = ctx.MakeConst(8, 4);
+    EXPECT_EQ(ctx.MakeShl(c, four)->ConstValue(), 0x00u);
+    EXPECT_EQ(ctx.MakeLShr(c, four)->ConstValue(), 0x0fu);
+    EXPECT_EQ(ctx.MakeAShr(c, four)->ConstValue(), 0xffu);
+    ExprRef x = ctx.FreshVar("x", 8);
+    EXPECT_EQ(ctx.MakeShl(x, ctx.MakeConst(8, 0)), x);
+    EXPECT_TRUE(ctx.MakeShl(x, ctx.MakeConst(8, 9))->IsConst());
+}
+
+TEST_F(ExprTest, AndOrLists)
+{
+    ExprRef p = ctx.FreshVar("p", 1);
+    ExprRef q = ctx.FreshVar("q", 1);
+    EXPECT_TRUE(ctx.MakeAndList({})->IsTrue());
+    EXPECT_TRUE(ctx.MakeOrList({})->IsFalse());
+    EXPECT_EQ(ctx.MakeAndList({p}), p);
+    EXPECT_TRUE(ctx.MakeAndList({p, ctx.False(), q})->IsFalse());
+    EXPECT_TRUE(ctx.MakeOrList({p, ctx.True(), q})->IsTrue());
+}
+
+TEST_F(ExprTest, CollectVars)
+{
+    ExprRef x = ctx.FreshVar("x", 8);
+    ExprRef y = ctx.FreshVar("y", 8);
+    ExprRef z = ctx.FreshVar("z", 8);
+    ExprRef e = ctx.MakeAdd(ctx.MakeMul(x, y), x);
+    std::unordered_set<uint32_t> vars;
+    ctx.CollectVars(e, &vars);
+    EXPECT_EQ(vars.size(), 2u);
+    EXPECT_TRUE(vars.count(x->VarId()));
+    EXPECT_TRUE(vars.count(y->VarId()));
+    EXPECT_FALSE(vars.count(z->VarId()));
+}
+
+TEST_F(ExprTest, SubstituteRewritesAndSimplifies)
+{
+    ExprRef x = ctx.FreshVar("x", 8);
+    ExprRef y = ctx.FreshVar("y", 8);
+    ExprRef e = ctx.MakeAdd(x, y);
+    std::unordered_map<uint32_t, ExprRef> map{
+        {x->VarId(), ctx.MakeConst(8, 2)},
+        {y->VarId(), ctx.MakeConst(8, 3)},
+    };
+    ExprRef r = ctx.Substitute(e, map);
+    ASSERT_TRUE(r->IsConst());
+    EXPECT_EQ(r->ConstValue(), 5u);
+
+    // Partial substitution leaves the other variable alone.
+    std::unordered_map<uint32_t, ExprRef> part{{x->VarId(), y}};
+    ExprRef r2 = ctx.Substitute(e, part);
+    EXPECT_EQ(r2, ctx.MakeAdd(y, y));
+}
+
+TEST_F(ExprTest, ToStringIsReadable)
+{
+    ExprRef x = ctx.FreshVar("addr", 8);
+    ExprRef e = ctx.MakeUlt(x, ctx.MakeConst(8, 100));
+    const std::string s = ctx.ToString(e);
+    EXPECT_NE(s.find("ult"), std::string::npos);
+    EXPECT_NE(s.find("addr"), std::string::npos);
+    EXPECT_NE(s.find("100:8"), std::string::npos);
+}
+
+TEST_F(ExprTest, SignExtendHelper)
+{
+    EXPECT_EQ(SignExtendTo64(0x80, 8), -128);
+    EXPECT_EQ(SignExtendTo64(0x7f, 8), 127);
+    EXPECT_EQ(SignExtendTo64(0xffff, 16), -1);
+    EXPECT_EQ(SignExtendTo64(5, 64), 5);
+}
+
+}  // namespace
+}  // namespace smt
+}  // namespace achilles

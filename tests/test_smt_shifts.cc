@@ -1,0 +1,149 @@
+// Achilles reproduction -- tests.
+//
+// Targeted property tests for the bit-blaster's shift circuits,
+// including arithmetic shifts (absent from the general random suite)
+// and non-power-of-two widths, which exercise the barrel shifter's
+// out-of-range handling.
+
+#include <gtest/gtest.h>
+
+#include "smt/eval.h"
+#include "smt/expr.h"
+#include "smt/solver.h"
+#include "support/rng.h"
+
+namespace achilles {
+namespace smt {
+namespace {
+
+/** Reference semantics for the three shifts. */
+uint64_t
+RefShift(Kind kind, uint64_t a, uint64_t amount, uint32_t width)
+{
+    a &= WidthMask(width);
+    amount &= WidthMask(width);
+    switch (kind) {
+      case Kind::kShl:
+        return amount >= width ? 0 : (a << amount) & WidthMask(width);
+      case Kind::kLShr:
+        return amount >= width ? 0 : a >> amount;
+      case Kind::kAShr: {
+        const int64_t sv = SignExtendTo64(a, width);
+        if (amount >= 63)
+            return static_cast<uint64_t>(sv < 0 ? -1 : 0) &
+                   WidthMask(width);
+        return static_cast<uint64_t>(sv >> amount) & WidthMask(width);
+      }
+      default:
+        ACHILLES_UNREACHABLE("bad shift kind");
+    }
+}
+
+struct ShiftCase
+{
+    Kind kind;
+    uint32_t width;
+};
+
+class ShiftPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ShiftPropertyTest, SymbolicShiftMatchesReference)
+{
+    const Kind kinds[] = {Kind::kShl, Kind::kLShr, Kind::kAShr};
+    const Kind kind = kinds[std::get<0>(GetParam())];
+    const uint32_t width = static_cast<uint32_t>(std::get<1>(GetParam()));
+
+    ExprContext ctx;
+    Solver solver(&ctx);
+    ExprRef a = ctx.FreshVar("a", width);
+    ExprRef amt = ctx.FreshVar("amt", width);
+    ExprRef shifted = kind == Kind::kShl    ? ctx.MakeShl(a, amt)
+                      : kind == Kind::kLShr ? ctx.MakeLShr(a, amt)
+                                            : ctx.MakeAShr(a, amt);
+
+    Rng rng(0x5417 + width * 31 + static_cast<int>(kind));
+    for (int iter = 0; iter < 30; ++iter) {
+        const uint64_t av = rng.Below(1ull << width);
+        const uint64_t sv = rng.Below(1ull << width);
+        const uint64_t expected = RefShift(kind, av, sv, width);
+        // Pinning the inputs must force the reference output...
+        const CheckResult r = solver.CheckSat(
+            {ctx.MakeEq(a, ctx.MakeConst(width, av)),
+             ctx.MakeEq(amt, ctx.MakeConst(width, sv)),
+             ctx.MakeEq(shifted, ctx.MakeConst(width, expected))});
+        EXPECT_EQ(r, CheckResult::kSat)
+            << KindName(kind) << " w=" << width << " a=" << av
+            << " amt=" << sv;
+        // ...and any other output must be infeasible.
+        const uint64_t wrong = (expected + 1) & WidthMask(width);
+        const CheckResult r2 = solver.CheckSat(
+            {ctx.MakeEq(a, ctx.MakeConst(width, av)),
+             ctx.MakeEq(amt, ctx.MakeConst(width, sv)),
+             ctx.MakeEq(shifted, ctx.MakeConst(width, wrong))});
+        EXPECT_EQ(r2, CheckResult::kUnsat)
+            << KindName(kind) << " w=" << width << " a=" << av
+            << " amt=" << sv;
+    }
+}
+
+// Widths 3..8 cover power-of-two and non-power-of-two barrel shifters.
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndWidths, ShiftPropertyTest,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Range(3, 9)));
+
+TEST(ShiftEdgeTest, OutOfRangeAmountsForceFill)
+{
+    ExprContext ctx;
+    Solver solver(&ctx);
+    for (uint32_t width : {5u, 8u}) {
+        ExprRef a = ctx.FreshVar("a", width);
+        ExprRef amt = ctx.FreshVar("amt", width);
+        // amount >= width forces shl/lshr to zero.
+        EXPECT_EQ(solver.CheckSat(
+                      {ctx.MakeUge(amt, ctx.MakeConst(width, width)),
+                       ctx.MakeNe(ctx.MakeShl(a, amt),
+                                  ctx.MakeConst(width, 0))}),
+                  CheckResult::kUnsat);
+        EXPECT_EQ(solver.CheckSat(
+                      {ctx.MakeUge(amt, ctx.MakeConst(width, width)),
+                       ctx.MakeNe(ctx.MakeLShr(a, amt),
+                                  ctx.MakeConst(width, 0))}),
+                  CheckResult::kUnsat);
+        // ...and ashr to the sign fill.
+        ExprRef all_ones = ctx.MakeConst(width, WidthMask(width));
+        EXPECT_EQ(solver.CheckSat(
+                      {ctx.MakeUge(amt, ctx.MakeConst(width, width)),
+                       ctx.MakeUge(a, ctx.MakeConst(
+                                          width, 1ull << (width - 1))),
+                       ctx.MakeNe(ctx.MakeAShr(a, amt), all_ones)}),
+                  CheckResult::kUnsat);
+    }
+}
+
+TEST(ShiftEdgeTest, UDivURemProperty)
+{
+    // For all a, b with b != 0: a == b * (a/b) + (a%b) and a%b < b.
+    ExprContext ctx;
+    Solver solver(&ctx);
+    for (uint32_t width : {4u, 6u, 8u}) {
+        ExprRef a = ctx.FreshVar("a", width);
+        ExprRef b = ctx.FreshVar("b", width);
+        ExprRef q = ctx.MakeUDiv(a, b);
+        ExprRef r = ctx.MakeURem(a, b);
+        ExprRef identity =
+            ctx.MakeEq(a, ctx.MakeAdd(ctx.MakeMul(b, q), r));
+        ExprRef bounded = ctx.MakeUlt(r, b);
+        EXPECT_EQ(solver.CheckSat(
+                      {ctx.MakeNe(b, ctx.MakeConst(width, 0)),
+                       ctx.MakeNot(ctx.MakeAnd(identity, bounded))}),
+                  CheckResult::kUnsat)
+            << "width=" << width;
+    }
+}
+
+}  // namespace
+}  // namespace smt
+}  // namespace achilles

@@ -1,0 +1,204 @@
+// Achilles reproduction -- tests.
+//
+// Engine edge cases: nested calls, calls inside branches, out-of-bounds
+// writes, client-mode Recv, state-budget degradation, loops over
+// symbolic bounds, and multi-send clients.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "smt/solver.h"
+#include "symexec/engine.h"
+#include "symexec/program.h"
+
+namespace achilles {
+namespace symexec {
+namespace {
+
+using smt::ExprContext;
+using smt::Solver;
+
+class SymexecEdgeTest : public ::testing::Test
+{
+  protected:
+    ExprContext ctx;
+    Solver solver{&ctx};
+};
+
+TEST_F(SymexecEdgeTest, NestedFunctionCalls)
+{
+    ProgramBuilder b("nested");
+    b.Function("inc", {{"v", 8}}, 8, [&] {
+        b.Return(ProgramBuilder::Var("v", 8) + 1);
+    });
+    b.Function("inc2", {{"v", 8}}, 8, [&] {
+        Val once = b.Call("inc", {ProgramBuilder::Var("v", 8)});
+        Val twice = b.Call("inc", {once});
+        b.Return(twice);
+    });
+    b.Function("main", {}, 0, [&] {
+        Val r = b.Call("inc2", {Val::Const(8, 40)});
+        b.If(r == 42, [&] { b.MarkAccept(); }, [&] { b.MarkReject(); });
+    });
+    const Program p = b.Build();
+    Engine engine(&ctx, &solver, &p, Mode::kServer);
+    engine.SetIncomingMessage({ctx.FreshVar("m", 8)});
+    auto results = engine.Run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].outcome, PathOutcome::kAccepted);
+}
+
+TEST_F(SymexecEdgeTest, CallInsideBranch)
+{
+    ProgramBuilder b("branch-call");
+    b.Function("pick", {{"v", 8}}, 8, [&] {
+        b.Return(ProgramBuilder::Var("v", 8) * Val::Const(8, 2));
+    });
+    b.Function("main", {}, 0, [&] {
+        Val x = b.ReadInput("x", 8);
+        Val out = b.Local("out", 8, Val::Const(8, 0));
+        b.If(x < 10, [&] {
+            Val doubled = b.Call("pick", {x});
+            b.Assign(out, doubled);
+        });
+        b.If(out == 6, [&] { b.MarkAccept(); }, [&] { b.MarkReject(); });
+    });
+    const Program p = b.Build();
+    Engine engine(&ctx, &solver, &p, Mode::kServer);
+    engine.SetIncomingMessage({ctx.FreshVar("m", 8)});
+    auto results = engine.Run();
+    // x<10 with 2x==6 (x==3) accepts; other paths reject.
+    EXPECT_EQ(std::count_if(results.begin(), results.end(),
+                            [](const PathResult &r) {
+                                return r.outcome == PathOutcome::kAccepted;
+                            }),
+              1);
+}
+
+TEST_F(SymexecEdgeTest, OutOfBoundsWritesAreDropped)
+{
+    ProgramBuilder b("oob-write");
+    b.Function("main", {}, 0, [&] {
+        b.Array("data", 8, 2);
+        b.Store("data", Val::Const(8, 7), Val::Const(8, 9));
+        Val v = b.Local("v", 8, ProgramBuilder::ArrayAt(
+                                    "data", 8, Val::Const(8, 0)));
+        b.If(v == 0, [&] { b.MarkAccept(); }, [&] { b.MarkReject(); });
+    });
+    const Program p = b.Build();
+    Engine engine(&ctx, &solver, &p, Mode::kServer);
+    engine.SetIncomingMessage({ctx.FreshVar("m", 8)});
+    auto results = engine.Run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].outcome, PathOutcome::kAccepted);
+    EXPECT_EQ(engine.stats().Get("engine.oob_writes"), 1);
+}
+
+TEST_F(SymexecEdgeTest, ClientRecvYieldsUnconstrainedReply)
+{
+    ProgramBuilder b("client-recv");
+    b.Function("main", {}, 0, [&] {
+        b.Array("msg", 8, 1);
+        b.Store("msg", Val::Const(8, 0), Val::Const(8, 1));
+        b.SendMessage("msg");
+        // Unreached when stop_client_after_send (default) is true.
+        b.ReceiveMessage("reply", 2);
+        b.Halt();
+    });
+    const Program p = b.Build();
+    EngineConfig config;
+    config.stop_client_after_send = false;
+    Engine engine(&ctx, &solver, &p, Mode::kClient, config);
+    auto results = engine.Run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].outcome, PathOutcome::kClientDone);
+    ASSERT_EQ(results[0].sent.size(), 1u);
+}
+
+TEST_F(SymexecEdgeTest, MultiSendClientCapturesAllMessages)
+{
+    ProgramBuilder b("multi-send");
+    b.Function("main", {}, 0, [&] {
+        b.Array("msg", 8, 1);
+        b.For(3, [&](uint32_t i) {
+            b.Store("msg", Val::Const(8, 0), Val::Const(8, i));
+            b.SendMessage("msg", "send" + std::to_string(i));
+        });
+        b.Halt();
+    });
+    const Program p = b.Build();
+    EngineConfig config;
+    config.stop_client_after_send = false;
+    Engine engine(&ctx, &solver, &p, Mode::kClient, config);
+    auto results = engine.Run();
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_EQ(results[0].sent.size(), 3u);
+    for (uint32_t i = 0; i < 3; ++i)
+        EXPECT_EQ(results[0].sent[i].bytes[0]->ConstValue(), i);
+}
+
+TEST_F(SymexecEdgeTest, StateBudgetDegradesGracefully)
+{
+    // 2^10 paths but only 4 simultaneous states allowed: the engine
+    // finishes (some paths as kLimit) instead of aborting.
+    ProgramBuilder b("wide");
+    b.Function("main", {}, 0, [&] {
+        for (int i = 0; i < 10; ++i) {
+            Val x = b.ReadInput("x" + std::to_string(i), 8);
+            b.If(x < 128, [&] {}, [&] {});
+        }
+        b.Halt();
+    });
+    const Program p = b.Build();
+    EngineConfig config;
+    config.max_states = 4;
+    Engine engine(&ctx, &solver, &p, Mode::kClient, config);
+    auto results = engine.Run();
+    EXPECT_FALSE(results.empty());
+    EXPECT_GT(engine.stats().Get("engine.state_budget_drops"), 0);
+    const size_t limits = std::count_if(
+        results.begin(), results.end(), [](const PathResult &r) {
+            return r.outcome == PathOutcome::kLimit;
+        });
+    EXPECT_GT(limits, 0u);
+}
+
+TEST_F(SymexecEdgeTest, WhileWithSymbolicBoundForksPerIteration)
+{
+    ProgramBuilder b("symbolic-loop");
+    b.Function("main", {}, 0, [&] {
+        Val n = b.ReadInput("n", 8);
+        b.Assume(n <= 3);
+        Val i = b.Local("i", 8, Val::Const(8, 0));
+        b.While(i < n, [&] { b.Assign(i, i + 1); });
+        b.Halt();
+    });
+    const Program p = b.Build();
+    Engine engine(&ctx, &solver, &p, Mode::kClient);
+    auto results = engine.Run();
+    // One path per n in {0,1,2,3}.
+    EXPECT_EQ(results.size(), 4u);
+}
+
+TEST_F(SymexecEdgeTest, MaxFinishedPathsCapsExploration)
+{
+    ProgramBuilder b("many-paths");
+    b.Function("main", {}, 0, [&] {
+        for (int i = 0; i < 8; ++i) {
+            Val x = b.ReadInput("x" + std::to_string(i), 8);
+            b.If(x < 128, [&] {}, [&] {});
+        }
+        b.Halt();
+    });
+    const Program p = b.Build();
+    EngineConfig config;
+    config.max_finished_paths = 10;
+    Engine engine(&ctx, &solver, &p, Mode::kClient, config);
+    auto results = engine.Run();
+    EXPECT_LE(results.size(), 10u);
+}
+
+}  // namespace
+}  // namespace symexec
+}  // namespace achilles
