@@ -1,0 +1,144 @@
+// Achilles reproduction -- parallel exploration subsystem benchmark.
+//
+// Sweeps the FSP server exploration (phase 2, the dominant cost in the
+// paper's Section 6.2 breakdown) over 1/2/4/8 workers and reports the
+// wall-clock speedup, the shared Trojan-query cache hit rate and the
+// work-stealing counters. Also validates the subsystem's determinism
+// guarantee: the Trojan witness sets (accept labels, definitions,
+// concrete bytes) must be bitwise-identical at every worker count.
+//
+// Usage: bench_parallel [--clients N] [--json <path>]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/achilles.h"
+#include "proto/fsp/fsp_protocol.h"
+
+using namespace achilles;
+using namespace achilles::core;
+
+namespace {
+
+/** Witness summary comparable across independent runs. */
+using WitnessSummary =
+    std::tuple<std::string, std::vector<uint8_t>, uint64_t>;
+
+struct SweepPoint
+{
+    size_t workers = 1;
+    double seconds = 0.0;
+    size_t trojans = 0;
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+    int64_t states_stolen = 0;
+    std::vector<WitnessSummary> witnesses;
+};
+
+SweepPoint
+RunOnce(size_t workers, size_t num_clients)
+{
+    smt::ExprContext ctx;
+    smt::Solver solver(&ctx);
+
+    const std::vector<symexec::Program> clients = fsp::MakeAllClients();
+    const symexec::Program server = fsp::MakeServer();
+
+    AchillesConfig config;
+    config.layout = fsp::MakeLayout();
+    for (size_t i = 0; i < clients.size() && i < num_clients; ++i)
+        config.clients.push_back(&clients[i]);
+    config.server = &server;
+    config.server_config.engine.num_workers = workers;
+
+    const AchillesResult result = RunAchilles(&ctx, &solver, config);
+
+    SweepPoint point;
+    point.workers = workers;
+    point.seconds = result.timings.server_analysis;
+    point.trojans = result.server.trojans.size();
+    point.cache_hits = result.server.stats.Get("exec.queries_cached");
+    point.cache_misses =
+        result.server.stats.Get("exec.query_cache_misses");
+    point.states_stolen = result.server.stats.Get("exec.states_stolen");
+    CanonicalHasher hasher(&ctx);
+    for (const TrojanWitness &t : result.server.trojans) {
+        point.witnesses.emplace_back(t.accept_label, t.concrete,
+                                     hasher.HashExprs(t.definition));
+    }
+    std::sort(point.witnesses.begin(), point.witnesses.end());
+    return point;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::ParseBenchArgs(argc, argv);
+    size_t num_clients = 8;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--clients") == 0)
+            num_clients = static_cast<size_t>(std::atoi(argv[i + 1]));
+    }
+
+    bench::Header("Parallel server exploration -- work-stealing scheduler "
+                  "sweep (FSP)");
+    bench::Note("phase 2 only; 1 worker = the serial in-engine worklist");
+
+    const std::vector<size_t> worker_counts{1, 2, 4, 8};
+    std::vector<SweepPoint> points;
+    for (size_t w : worker_counts)
+        points.push_back(RunOnce(w, num_clients));
+
+    const SweepPoint &serial = points.front();
+
+    bench::Section("sweep");
+    std::printf("  %8s %12s %9s %10s %12s %9s\n", "workers", "seconds",
+                "speedup", "trojans", "cache-hit%", "stolen");
+    bool identical = true;
+    for (const SweepPoint &p : points) {
+        const double speedup =
+            p.seconds > 0 ? serial.seconds / p.seconds : 0.0;
+        const int64_t lookups = p.cache_hits + p.cache_misses;
+        const double hit_rate =
+            lookups > 0 ? 100.0 * static_cast<double>(p.cache_hits) /
+                              static_cast<double>(lookups)
+                        : 0.0;
+        std::printf("  %8zu %12.3f %8.2fx %10zu %11.1f%% %9lld\n",
+                    p.workers, p.seconds, speedup, p.trojans, hit_rate,
+                    static_cast<long long>(p.states_stolen));
+        identical &= p.witnesses == serial.witnesses;
+
+        const std::string suffix =
+            "/workers=" + std::to_string(p.workers);
+        bench::JsonRecorder::Instance().Record(
+            "parallel.server_seconds" + suffix, p.seconds);
+        bench::JsonRecorder::Instance().Record(
+            "parallel.speedup" + suffix, speedup);
+        bench::JsonRecorder::Instance().Record(
+            "parallel.cache_hit_rate" + suffix, hit_rate);
+        bench::JsonRecorder::Instance().Record(
+            "parallel.states_stolen" + suffix,
+            static_cast<double>(p.states_stolen));
+    }
+    bench::Metric("parallel.trojans", static_cast<double>(serial.trojans));
+    bench::Metric("parallel.witness_sets_identical", identical ? 1 : 0);
+
+    bench::Section("determinism");
+    if (identical) {
+        std::printf("  witness sets (labels, definitions, concrete bytes) "
+                    "are identical at every worker count\n");
+    } else {
+        std::printf("  ERROR: witness sets diverged across worker "
+                    "counts\n");
+    }
+    bench::Note("speedup is bounded by the machine's core count; on a "
+                "single-core container all worker counts serialize");
+    return identical ? 0 : 1;
+}

@@ -3,15 +3,85 @@
 // Shared formatting for the per-table/per-figure reproduction binaries.
 // Each binary prints the paper's reference numbers next to the measured
 // ones so the "shape" comparison (who wins, by what factor) is direct.
+//
+// Machine-readable output: call ParseBenchArgs(argc, argv) in main and
+// record numbers through Metric(); with `--json <path>` on the command
+// line every metric is also written to <path> as a JSON array of
+// {"metric": ..., "value": ...} records, so successive PRs can track the
+// perf trajectory (BENCH_*.json) without scraping stdout.
 
 #ifndef ACHILLES_BENCH_BENCH_UTIL_H_
 #define ACHILLES_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace achilles {
 namespace bench {
+
+/** Collects {metric, value} records and writes them on Flush(). */
+class JsonRecorder
+{
+  public:
+    static JsonRecorder &
+    Instance()
+    {
+        static JsonRecorder recorder;
+        return recorder;
+    }
+
+    void Open(std::string path) { path_ = std::move(path); }
+    bool enabled() const { return !path_.empty(); }
+
+    void
+    Record(const std::string &metric, double value)
+    {
+        if (enabled())
+            records_.emplace_back(metric, value);
+    }
+
+    /** Write all records; called automatically at program exit. */
+    void
+    Flush()
+    {
+        if (!enabled() || records_.empty())
+            return;
+        std::FILE *f = std::fopen(path_.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         path_.c_str());
+            return;
+        }
+        std::fprintf(f, "[\n");
+        for (size_t i = 0; i < records_.size(); ++i) {
+            std::fprintf(f, "  {\"metric\": \"%s\", \"value\": %.9g}%s\n",
+                         records_[i].first.c_str(), records_[i].second,
+                         i + 1 < records_.size() ? "," : "");
+        }
+        std::fprintf(f, "]\n");
+        std::fclose(f);
+        records_.clear();
+    }
+
+    ~JsonRecorder() { Flush(); }
+
+  private:
+    JsonRecorder() = default;
+    std::string path_;
+    std::vector<std::pair<std::string, double>> records_;
+};
+
+/** Handle shared harness flags; currently `--json <path>`. */
+inline void
+ParseBenchArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--json")
+            JsonRecorder::Instance().Open(argv[i + 1]);
+    }
+}
 
 inline void
 Header(const std::string &title)
@@ -33,6 +103,16 @@ inline void
 Note(const std::string &text)
 {
     std::printf("  # %s\n", text.c_str());
+}
+
+/** Print a named number and record it for `--json` output. */
+inline void
+Metric(const std::string &name, double value,
+       const std::string &unit = "")
+{
+    std::printf("  %-40s %12.4f%s%s\n", name.c_str(), value,
+                unit.empty() ? "" : " ", unit.c_str());
+    JsonRecorder::Instance().Record(name, value);
 }
 
 }  // namespace bench

@@ -2,6 +2,7 @@
 
 #include "baselines/classic_se.h"
 
+#include "exec/worker.h"
 #include "smt/eval.h"
 #include "support/timer.h"
 
@@ -22,12 +23,10 @@ RunClassicSe(smt::ExprContext *ctx, smt::Solver *solver,
     for (uint32_t i = 0; i < layout.length(); ++i)
         message.push_back(ctx->FreshVar("msg", 8));
 
-    symexec::Engine engine(ctx, solver, server, symexec::Mode::kServer,
-                           config.engine);
-    engine.SetIncomingMessage(message);
-    std::vector<symexec::PathResult> paths = engine.Run();
+    std::vector<symexec::PathResult> paths =
+        exec::RunExploration(ctx, solver, server, symexec::Mode::kServer,
+                             config.engine, message, &result.stats);
     result.exploration_seconds = timer.Seconds();
-    result.stats.Merge(engine.stats());
 
     // Analyzed byte offsets (model blocking is restricted to these).
     std::vector<uint32_t> analyzed;

@@ -24,6 +24,8 @@ namespace baselines {
 /** Configuration for the classic-SE baseline. */
 struct ClassicSeConfig
 {
+    /** engine.num_workers > 1 runs the exploration on the
+     *  exec::ParallelEngine work-stealing pool. */
     symexec::EngineConfig engine;
     /** Max concrete messages enumerated per accepting path. */
     size_t enumerate_per_path = 1;

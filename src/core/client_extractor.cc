@@ -4,6 +4,8 @@
 
 #include <unordered_set>
 
+#include "exec/worker.h"
+
 namespace achilles {
 namespace core {
 
@@ -19,10 +21,14 @@ ExtractClientPredicate(smt::ExprContext *ctx, smt::Solver *solver,
     uint64_t next_id = 0;
 
     for (const symexec::Program *client : clients) {
-        symexec::Engine engine(ctx, solver, client, symexec::Mode::kClient,
-                               config.engine);
-        const std::vector<symexec::PathResult> paths = engine.Run();
-        out.stats.Merge(engine.stats());
+        // With num_workers > 1 extraction runs on the worker pool:
+        // client paths are independent, and the ParallelEngine returns
+        // them home-translated in a schedule-independent order, so
+        // predicate ids stay stable.
+        const std::vector<symexec::PathResult> paths =
+            exec::RunExploration(ctx, solver, client,
+                                 symexec::Mode::kClient, config.engine,
+                                 {}, &out.stats);
         for (const symexec::PathResult &path : paths) {
             if (path.outcome != symexec::PathOutcome::kClientDone)
                 continue;

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "exec/worker.h"
 #include "smt/eval.h"
 
 namespace achilles {
@@ -22,6 +23,108 @@ struct ServerExplorer::LiveSet : public symexec::StateUserData
         copy->live = live;
         return copy;
     }
+};
+
+/**
+ * Per-worker listener: bridge-translated copies of the predicate-match
+ * and negation tables, private result sinks, and the worker's own
+ * cached solver. The heavy lifting delegates to the owner's
+ * HandleBranch/HandleAccept over this worker's plane.
+ */
+class ServerExplorer::WorkerListener : public symexec::Listener
+{
+  public:
+    WorkerListener(ServerExplorer *owner, exec::WorkerContext *wc)
+        : owner_(owner), wc_(wc)
+    {
+        // Translate the shared expression tables into this worker's
+        // context (single-threaded: runs before worker threads start).
+        match_.resize(owner->match_.size());
+        for (size_t i = 0; i < owner->match_.size(); ++i) {
+            match_[i].reserve(owner->match_[i].size());
+            for (smt::ExprRef e : owner->match_[i])
+                match_[i].push_back(wc->bridge->ToRemote(e));
+        }
+        negations_.reserve(owner->negation_exprs_.size());
+        for (smt::ExprRef e : owner->negation_exprs_)
+            negations_.push_back(e ? wc->bridge->ToRemote(e) : nullptr);
+        // The engine's incoming message is the worker replica of the
+        // home message; id alignment makes var_to_offset_ valid here.
+        message_ = wc->incoming;
+        for (size_t i = 0; i < message_.size(); ++i) {
+            ACHILLES_CHECK(message_[i]->VarId() ==
+                               owner->message_[i]->VarId(),
+                           "message variables out of alignment");
+        }
+    }
+
+    Plane
+    plane()
+    {
+        Plane p;
+        p.ctx = &wc_->ctx;
+        p.solver = wc_->solver.get();
+        p.match = &match_;
+        p.negations = &negations_;
+        p.message = &message_;
+        p.stats = &stats_;
+        p.samples = &samples_;
+        p.trojans = &trojans_;
+        return p;
+    }
+
+    bool
+    OnBranch(symexec::State &state, smt::ExprRef constraint) override
+    {
+        Plane p = plane();
+        return owner_->HandleBranch(p, state, constraint);
+    }
+
+    void
+    OnAccept(symexec::State &state) override
+    {
+        Plane p = plane();
+        owner_->HandleAccept(p, state);
+    }
+
+    exec::WorkerContext *wc() { return wc_; }
+    StatsRegistry &stats() { return stats_; }
+    std::vector<LiveSetSample> &samples() { return samples_; }
+    std::vector<TrojanWitness> &trojans() { return trojans_; }
+
+  private:
+    ServerExplorer *owner_;
+    exec::WorkerContext *wc_;
+    std::vector<std::vector<smt::ExprRef>> match_;
+    std::vector<smt::ExprRef> negations_;
+    std::vector<smt::ExprRef> message_;
+    StatsRegistry stats_;
+    std::vector<LiveSetSample> samples_;
+    std::vector<TrojanWitness> trojans_;
+};
+
+class ServerExplorer::WorkerFactory : public exec::WorkerListenerFactory
+{
+  public:
+    explicit WorkerFactory(ServerExplorer *owner) : owner_(owner) {}
+
+    std::unique_ptr<symexec::Listener>
+    MakeListener(exec::WorkerContext *wc) override
+    {
+        auto listener = std::make_unique<WorkerListener>(owner_, wc);
+        created_.push_back(listener.get());
+        return listener;
+    }
+
+    /** Listeners in worker-id order (owned by the ParallelEngine). */
+    const std::vector<WorkerListener *> &created() const
+    {
+        return created_;
+    }
+
+  private:
+    ServerExplorer *owner_;
+    std::vector<WorkerListener *> created_;
 };
 
 ServerExplorer::ServerExplorer(
@@ -81,6 +184,21 @@ ServerExplorer::ServerExplorer(
     }
 }
 
+ServerExplorer::Plane
+ServerExplorer::HomePlane()
+{
+    Plane p;
+    p.ctx = ctx_;
+    p.solver = solver_;
+    p.match = &match_;
+    p.negations = &negation_exprs_;
+    p.message = &message_;
+    p.stats = &analysis_.stats;
+    p.samples = &analysis_.live_samples;
+    p.trojans = &analysis_.trojans;
+    return p;
+}
+
 ServerExplorer::LiveSet *
 ServerExplorer::GetLiveSet(symexec::State &state)
 {
@@ -97,38 +215,40 @@ ServerExplorer::GetLiveSet(symexec::State &state)
 }
 
 bool
-ServerExplorer::PredicateMatches(const symexec::State &state, size_t i)
+ServerExplorer::PredicateMatches(Plane &plane, const symexec::State &state,
+                                 size_t i)
 {
     std::vector<smt::ExprRef> query = state.constraints();
-    query.insert(query.end(), match_[i].begin(), match_[i].end());
-    analysis_.stats.Bump("explorer.match_queries");
-    return solver_->CheckSat(query) != smt::CheckResult::kUnsat;
+    query.insert(query.end(), (*plane.match)[i].begin(),
+                 (*plane.match)[i].end());
+    plane.stats->Bump("explorer.match_queries");
+    return plane.solver->CheckSat(query) != smt::CheckResult::kUnsat;
 }
 
 smt::CheckResult
 ServerExplorer::TrojanQuery(
-    const std::vector<smt::ExprRef> &path_constraints,
+    Plane &plane, const std::vector<smt::ExprRef> &path_constraints,
     const std::vector<uint32_t> &live, smt::Model *model)
 {
     std::vector<smt::ExprRef> query = path_constraints;
     for (uint32_t i : live) {
-        if (negation_exprs_[i] == nullptr) {
+        if ((*plane.negations)[i] == nullptr) {
             // An un-negatable live predicate blocks the whole query: we
             // cannot certify any message as outside its value set.
-            analysis_.stats.Bump("explorer.blocked_by_unusable_negation");
+            plane.stats->Bump("explorer.blocked_by_unusable_negation");
             return smt::CheckResult::kUnsat;
         }
-        query.push_back(negation_exprs_[i]);
+        query.push_back((*plane.negations)[i]);
     }
-    analysis_.stats.Bump("explorer.trojan_queries");
-    return solver_->CheckSat(query, model);
+    plane.stats->Bump("explorer.trojan_queries");
+    return plane.solver->CheckSat(query, model);
 }
 
 std::vector<std::string>
-ServerExplorer::TouchedFields(smt::ExprRef e) const
+ServerExplorer::TouchedFields(const Plane &plane, smt::ExprRef e) const
 {
     std::unordered_set<uint32_t> vars;
-    ctx_->CollectVars(e, &vars);
+    plane.ctx->CollectVars(e, &vars);
     std::vector<std::string> fields;
     for (uint32_t v : vars) {
         auto it = var_to_offset_.find(v);
@@ -145,17 +265,15 @@ ServerExplorer::TouchedFields(smt::ExprRef e) const
 }
 
 bool
-ServerExplorer::OnBranch(symexec::State &state, smt::ExprRef constraint)
+ServerExplorer::HandleBranch(Plane &plane, symexec::State &state,
+                             smt::ExprRef constraint)
 {
-    if (config_.mode == SearchMode::kAPosteriori)
-        return true;
-
     LiveSet *data = GetLiveSet(state);
 
     // Only constraints over the message can change which client
     // predicates match (skipping others is conservative: we merely keep
     // predicates live longer).
-    const std::vector<std::string> fields = TouchedFields(constraint);
+    const std::vector<std::string> fields = TouchedFields(plane, constraint);
     if (!fields.empty() && config_.drop_client_predicates) {
         const bool single_independent_field =
             config_.use_different_from && fields.size() == 1 &&
@@ -167,20 +285,20 @@ ServerExplorer::OnBranch(symexec::State &state, smt::ExprRef constraint)
         std::vector<uint8_t> decided(preds_->size(), 0);  // 1=drop, 2=keep
         for (uint32_t i : data->live) {
             if (decided[i] == 1) {
-                analysis_.stats.Bump("explorer.difffrom_drops");
+                plane.stats->Bump("explorer.difffrom_drops");
                 continue;
             }
             if (decided[i] == 2) {
                 survivors.push_back(i);
                 continue;
             }
-            if (PredicateMatches(state, i)) {
+            if (PredicateMatches(plane, state, i)) {
                 survivors.push_back(i);
                 decided[i] = 2;
                 continue;
             }
             decided[i] = 1;
-            analysis_.stats.Bump("explorer.predicate_drops");
+            plane.stats->Bump("explorer.predicate_drops");
             if (single_independent_field) {
                 // Everything in i's value class (and any j that has no
                 // extra values for this field) dies with i.
@@ -195,14 +313,14 @@ ServerExplorer::OnBranch(symexec::State &state, smt::ExprRef constraint)
         data->live = std::move(survivors);
     }
 
-    analysis_.live_samples.push_back(
+    plane.samples->push_back(
         LiveSetSample{state.depth(), data->live.size()});
 
     if (config_.prune_trojan_free_states) {
         const smt::CheckResult r =
-            TrojanQuery(state.constraints(), data->live, nullptr);
+            TrojanQuery(plane, state.constraints(), data->live, nullptr);
         if (r == smt::CheckResult::kUnsat) {
-            analysis_.stats.Bump("explorer.states_pruned");
+            plane.stats->Bump("explorer.states_pruned");
             return false;
         }
     }
@@ -210,14 +328,14 @@ ServerExplorer::OnBranch(symexec::State &state, smt::ExprRef constraint)
 }
 
 void
-ServerExplorer::EmitTrojan(const symexec::State &state,
+ServerExplorer::EmitTrojan(Plane &plane, const symexec::State &state,
                            const std::vector<uint32_t> &live)
 {
     smt::Model model;
     const smt::CheckResult r =
-        TrojanQuery(state.constraints(), live, &model);
+        TrojanQuery(plane, state.constraints(), live, &model);
     if (r != smt::CheckResult::kSat) {
-        analysis_.stats.Bump("explorer.accepting_without_trojans");
+        plane.stats->Bump("explorer.accepting_without_trojans");
         return;
     }
     TrojanWitness witness;
@@ -225,9 +343,9 @@ ServerExplorer::EmitTrojan(const symexec::State &state,
     witness.accept_label = state.accept_label;
     witness.definition = state.constraints();
     for (uint32_t i : live)
-        witness.definition.push_back(negation_exprs_[i]);
-    witness.concrete.reserve(message_.size());
-    for (smt::ExprRef byte : message_) {
+        witness.definition.push_back((*plane.negations)[i]);
+    witness.concrete.reserve(plane.message->size());
+    for (smt::ExprRef byte : *plane.message) {
         witness.concrete.push_back(
             static_cast<uint8_t>(smt::Evaluate(byte, model)));
         witness.message_vars.push_back(byte->VarId());
@@ -235,8 +353,24 @@ ServerExplorer::EmitTrojan(const symexec::State &state,
     witness.bundled_with_valid = !live.empty();
     witness.discovered_at_seconds = timer_.Seconds();
     witness.path_depth = state.depth();
-    analysis_.trojans.push_back(std::move(witness));
-    analysis_.stats.Bump("explorer.trojans");
+    plane.trojans->push_back(std::move(witness));
+    plane.stats->Bump("explorer.trojans");
+}
+
+void
+ServerExplorer::HandleAccept(Plane &plane, symexec::State &state)
+{
+    LiveSet *data = GetLiveSet(state);
+    EmitTrojan(plane, state, data->live);
+}
+
+bool
+ServerExplorer::OnBranch(symexec::State &state, smt::ExprRef constraint)
+{
+    if (config_.mode == SearchMode::kAPosteriori)
+        return true;
+    Plane plane = HomePlane();
+    return HandleBranch(plane, state, constraint);
 }
 
 void
@@ -244,20 +378,71 @@ ServerExplorer::OnAccept(symexec::State &state)
 {
     if (config_.mode == SearchMode::kAPosteriori)
         return;
-    LiveSet *data = GetLiveSet(state);
-    EmitTrojan(state, data->live);
+    Plane plane = HomePlane();
+    HandleAccept(plane, state);
+}
+
+std::vector<symexec::PathResult>
+ServerExplorer::RunParallel()
+{
+    exec::ParallelEngine engine(ctx_, server_, symexec::Mode::kServer,
+                                config_.engine, solver_->config());
+    engine.SetIncomingMessage(message_);
+    WorkerFactory factory(this);
+    const bool incremental = config_.mode == SearchMode::kIncremental;
+    if (incremental)
+        engine.SetListenerFactory(&factory);
+    std::vector<symexec::PathResult> paths = engine.Run();
+    analysis_.stats.Merge(engine.stats());
+
+    if (!incremental)
+        return paths;
+
+    // Merge the worker-private sinks. Witness definitions live in the
+    // worker contexts; translate them home so callers can re-solve them
+    // against the home message variables, exactly as in a serial run.
+    for (WorkerListener *listener : factory.created()) {
+        analysis_.stats.Merge(listener->stats());
+        analysis_.live_samples.insert(analysis_.live_samples.end(),
+                                      listener->samples().begin(),
+                                      listener->samples().end());
+        for (TrojanWitness &witness : listener->trojans()) {
+            for (smt::ExprRef &e : witness.definition)
+                e = listener->wc()->bridge->ToHome(e);
+            analysis_.trojans.push_back(std::move(witness));
+        }
+    }
+    // Deterministic presentation regardless of schedule: witnesses by
+    // (schedule-independent) accepting path id, samples by position.
+    std::stable_sort(analysis_.trojans.begin(), analysis_.trojans.end(),
+                     [](const TrojanWitness &a, const TrojanWitness &b) {
+                         return a.server_path_id < b.server_path_id;
+                     });
+    std::stable_sort(analysis_.live_samples.begin(),
+                     analysis_.live_samples.end(),
+                     [](const LiveSetSample &a, const LiveSetSample &b) {
+                         return a.path_length != b.path_length
+                                    ? a.path_length < b.path_length
+                                    : a.live_predicates < b.live_predicates;
+                     });
+    return paths;
 }
 
 ServerAnalysis
 ServerExplorer::Run()
 {
     timer_.Reset();
-    symexec::Engine engine(ctx_, solver_, server_, symexec::Mode::kServer,
-                           config_.engine);
-    engine.SetIncomingMessage(message_);
-    engine.SetListener(this);
-    std::vector<symexec::PathResult> paths = engine.Run();
-    analysis_.stats.Merge(engine.stats());
+    std::vector<symexec::PathResult> paths;
+    if (config_.engine.num_workers > 1) {
+        paths = RunParallel();
+    } else {
+        symexec::Engine engine(ctx_, solver_, server_,
+                               symexec::Mode::kServer, config_.engine);
+        engine.SetIncomingMessage(message_);
+        engine.SetListener(this);
+        paths = engine.Run();
+        analysis_.stats.Merge(engine.stats());
+    }
 
     for (symexec::PathResult &path : paths) {
         if (path.outcome == symexec::PathOutcome::kAccepted)
@@ -266,13 +451,16 @@ ServerExplorer::Run()
 
     if (config_.mode == SearchMode::kAPosteriori) {
         // Differencing after the fact: conjoin every predicate's
-        // negation on each accepting path.
+        // negation on each accepting path. Paths from a parallel run
+        // are already home-translated, so this stays a serial pass on
+        // the home solver either way.
+        Plane plane = HomePlane();
         std::vector<uint32_t> all(preds_->size());
         for (size_t i = 0; i < all.size(); ++i)
             all[i] = static_cast<uint32_t>(i);
         for (const symexec::PathResult &path : analysis_.accepting_paths) {
             smt::Model model;
-            if (TrojanQuery(path.constraints, all, &model) !=
+            if (TrojanQuery(plane, path.constraints, all, &model) !=
                 smt::CheckResult::kSat) {
                 continue;
             }

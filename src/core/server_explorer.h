@@ -108,6 +108,13 @@ struct ServerAnalysis
  *
  * Usage: construct with the preprocessed client predicate data, then
  * Run(). The same instance is not reusable.
+ *
+ * With config.engine.num_workers > 1 the exploration runs on the
+ * exec::ParallelEngine work-stealing pool: each worker evaluates the
+ * incremental checks against bridge-translated predicate tables with
+ * its own solver behind the shared query cache, and the merged analysis
+ * (witness definitions re-homed, ordered by path id) is identical to a
+ * serial run's.
  */
 class ServerExplorer : public symexec::Listener
 {
@@ -142,23 +149,59 @@ class ServerExplorer : public symexec::Listener
 
   private:
     struct LiveSet;
+    class WorkerListener;
+    class WorkerFactory;
+    friend class WorkerListener;
+
+    /**
+     * One data plane for the exploration logic: the context, solver and
+     * per-predicate expression tables the logic runs against, plus the
+     * sinks it writes to. The serial path uses a single home plane; with
+     * num_workers > 1 each worker gets a plane of bridge-translated
+     * expressions, its own CachedSolver and private sinks, so the
+     * LiveSet bookkeeping and witness emission never share mutable
+     * state across threads.
+     */
+    struct Plane
+    {
+        smt::ExprContext *ctx;
+        smt::Solver *solver;
+        const std::vector<std::vector<smt::ExprRef>> *match;
+        const std::vector<smt::ExprRef> *negations;
+        const std::vector<smt::ExprRef> *message;
+        StatsRegistry *stats;
+        std::vector<LiveSetSample> *samples;
+        std::vector<TrojanWitness> *trojans;
+    };
+
+    Plane HomePlane();
 
     /** Live-set of a state, creating the full set on first touch. */
     LiveSet *GetLiveSet(symexec::State &state);
 
     /** Combined query: state constraints + client predicate i matches. */
-    bool PredicateMatches(const symexec::State &state, size_t i);
+    bool PredicateMatches(Plane &plane, const symexec::State &state,
+                          size_t i);
 
     /** Trojan query for a state; fills the model when sat. */
     smt::CheckResult TrojanQuery(
-        const std::vector<smt::ExprRef> &path_constraints,
+        Plane &plane, const std::vector<smt::ExprRef> &path_constraints,
         const std::vector<uint32_t> &live, smt::Model *model);
 
     /** Fields constrained by an expression (via message byte vars). */
-    std::vector<std::string> TouchedFields(smt::ExprRef e) const;
+    std::vector<std::string> TouchedFields(const Plane &plane,
+                                           smt::ExprRef e) const;
 
-    void EmitTrojan(const symexec::State &state,
+    /** Core branch/accept logic, shared by serial and worker planes. */
+    bool HandleBranch(Plane &plane, symexec::State &state,
+                      smt::ExprRef constraint);
+    void HandleAccept(Plane &plane, symexec::State &state);
+
+    void EmitTrojan(Plane &plane, const symexec::State &state,
                     const std::vector<uint32_t> &live);
+
+    /** Multi-worker variant of Run's exploration (num_workers > 1). */
+    std::vector<symexec::PathResult> RunParallel();
 
     smt::ExprContext *ctx_;
     smt::Solver *solver_;

@@ -1,0 +1,140 @@
+// Achilles reproduction -- parallel exploration subsystem.
+
+#include "exec/query_cache.h"
+
+#include <algorithm>
+
+#include "support/hash.h"
+
+namespace achilles {
+namespace exec {
+
+bool
+QueryCache::ComputeKey(const std::vector<smt::ExprRef> &assertions,
+                       uint32_t shared_var_limit, QueryCacheKey *out)
+{
+    // Deduplicate (nodes are interned, pointer identity == structural
+    // identity within a context) so the key matches however the caller
+    // happened to repeat conjuncts.
+    std::vector<smt::ExprRef> unique_assertions = assertions;
+    std::sort(unique_assertions.begin(), unique_assertions.end());
+    unique_assertions.erase(
+        std::unique(unique_assertions.begin(), unique_assertions.end()),
+        unique_assertions.end());
+
+    uint64_t lo = 0x51ed270b9f9f2b4dull +
+                  0x632be59bd9b4e019ull * unique_assertions.size();
+    uint64_t hi = 0x8ebc6af09c88c6e3ull;
+    // Commutative accumulation keeps the key order-insensitive, matching
+    // the logical conjunction the assertions denote. Both fingerprints
+    // and the variable bound are precomputed per node, so this is O(1)
+    // per assertion.
+    for (smt::ExprRef e : unique_assertions) {
+        if (e->max_var_bound() > shared_var_limit)
+            return false;
+        lo += MixBits(e->struct_hash() ^ 0xa0761d6478bd642full);
+        hi += MixBits(e->struct_hash2() + 0xe7037ed1a0b428dbull);
+    }
+    out->lo = lo;
+    out->hi = hi;
+    return true;
+}
+
+QueryCache::QueryCache(size_t shards)
+{
+    if (shards == 0)
+        shards = 1;
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+QueryCache::Shard &
+QueryCache::ShardFor(const QueryCacheKey &key)
+{
+    return *shards_[static_cast<size_t>(key.lo) % shards_.size()];
+}
+
+bool
+QueryCache::Lookup(const QueryCacheKey &key, smt::CheckResult *result,
+                   smt::Model *model)
+{
+    Shard &shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    *result = it->second.result;
+    if (model)
+        *model = it->second.model;
+    return true;
+}
+
+void
+QueryCache::Insert(const QueryCacheKey &key, smt::CheckResult result,
+                   const smt::Model &model)
+{
+    if (result == smt::CheckResult::kUnknown)
+        return;  // may become decidable with a bigger budget; don't pin
+    Shard &shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.emplace(key, Entry{result, model});
+}
+
+size_t
+QueryCache::size() const
+{
+    size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->map.size();
+    }
+    return total;
+}
+
+void
+QueryCache::ExportStats(StatsRegistry *stats) const
+{
+    stats->Bump("exec.queries_cached", hits());
+    stats->Bump("exec.query_cache_misses", misses());
+    stats->Set("exec.query_cache_entries", static_cast<int64_t>(size()));
+}
+
+CachedSolver::CachedSolver(smt::ExprContext *ctx, QueryCache *cache,
+                           uint32_t shared_var_limit,
+                           smt::SolverConfig config)
+    : Solver(ctx, config), cache_(cache), shared_var_limit_(shared_var_limit)
+{
+}
+
+smt::CheckResult
+CachedSolver::CheckSat(const std::vector<smt::ExprRef> &assertions,
+                       smt::Model *model)
+{
+    QueryCacheKey key;
+    if (cache_ == nullptr ||
+        !QueryCache::ComputeKey(assertions, shared_var_limit_, &key)) {
+        return Solver::CheckSat(assertions, model);
+    }
+    smt::CheckResult result;
+    if (cache_->Lookup(key, &result, model)) {
+        // Counted once, in the cache's own hit counter (exported as
+        // "exec.queries_cached" by ExportStats) -- a per-solver bump
+        // here would double-count after the merge.
+        return result;
+    }
+    // Always request the model: a hit for this key later must be able to
+    // serve Trojan-query callers that want one.
+    smt::Model computed;
+    result = Solver::CheckSat(assertions, &computed);
+    cache_->Insert(key, result, computed);
+    if (model)
+        *model = computed;
+    return result;
+}
+
+}  // namespace exec
+}  // namespace achilles

@@ -1,0 +1,143 @@
+// Achilles reproduction -- parallel exploration subsystem.
+//
+// Shared, sharded, lock-striped SMT query cache. The server exploration
+// re-issues the same feasibility and predicate-match queries from many
+// sibling states (ServerExplorer::PredicateMatches is the dominant
+// repeated work); with several workers the repetition also crosses
+// threads. This cache memoizes CheckSat results -- including the model,
+// so a later identical Trojan query resolves without a SAT call -- under
+// a canonical 128-bit key computed from the context-independent
+// structural fingerprints of the assertion set.
+//
+// Key soundness: fingerprints hash variables by id, so a key is only
+// valid across contexts when the ids mean the same variable everywhere.
+// The parallel engine id-aligns every variable that exists in the home
+// context at launch time (exec/expr_transfer.h); queries mentioning any
+// later, worker-local variable are simply not cached (ComputeKey returns
+// false). Models are stored as id -> value maps and are therefore valid
+// in any worker context for cacheable queries.
+
+#ifndef ACHILLES_EXEC_QUERY_CACHE_H_
+#define ACHILLES_EXEC_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/solver.h"
+#include "support/stats.h"
+
+namespace achilles {
+namespace exec {
+
+/** Canonical 128-bit key of an assertion set (order-insensitive). */
+struct QueryCacheKey
+{
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+
+    bool
+    operator==(const QueryCacheKey &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+};
+
+/**
+ * The shared cross-worker query cache.
+ *
+ * Lock-striped: keys are distributed over `shards` independent maps,
+ * each behind its own mutex, so concurrent workers rarely contend.
+ */
+class QueryCache
+{
+  public:
+    explicit QueryCache(size_t shards = 16);
+    QueryCache(const QueryCache &) = delete;
+    QueryCache &operator=(const QueryCache &) = delete;
+
+    /**
+     * Compute the canonical key for an assertion set. Returns false --
+     * query not cacheable -- when any assertion mentions a variable with
+     * id >= `shared_var_limit` (a worker-local variable whose id is not
+     * globally meaningful). Duplicate assertions do not affect the key.
+     */
+    static bool ComputeKey(const std::vector<smt::ExprRef> &assertions,
+                           uint32_t shared_var_limit, QueryCacheKey *out);
+
+    /** Probe; fills result (and model, when non-null) on a hit. */
+    bool Lookup(const QueryCacheKey &key, smt::CheckResult *result,
+                smt::Model *model);
+
+    /** Publish a result (kUnknown results are not stored). */
+    void Insert(const QueryCacheKey &key, smt::CheckResult result,
+                const smt::Model &model);
+
+    int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    int64_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    size_t size() const;
+
+    /** Export counters ("exec.queries_cached" et al.) into a registry. */
+    void ExportStats(StatsRegistry *stats) const;
+
+  private:
+    struct Entry
+    {
+        smt::CheckResult result = smt::CheckResult::kUnknown;
+        smt::Model model;
+    };
+    struct KeyHash
+    {
+        size_t operator()(const QueryCacheKey &k) const
+        {
+            return static_cast<size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ull));
+        }
+    };
+    struct Shard
+    {
+        std::mutex mutex;
+        std::unordered_map<QueryCacheKey, Entry, KeyHash> map;
+    };
+
+    Shard &ShardFor(const QueryCacheKey &key);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<int64_t> hits_{0};
+    std::atomic<int64_t> misses_{0};
+};
+
+/**
+ * Solver decorator consulting the shared cache before the real decision
+ * procedure. Each worker owns one, wrapping its private context-bound
+ * Solver; every layer running on the worker (engine feasibility checks,
+ * predicate-match queries, Trojan queries) goes through it unchanged.
+ */
+class CachedSolver : public smt::Solver
+{
+  public:
+    /**
+     * `shared_var_limit` is the number of id-aligned variables (the home
+     * context's variable count at parallel-run launch); queries touching
+     * later variables bypass the shared cache.
+     */
+    CachedSolver(smt::ExprContext *ctx, QueryCache *cache,
+                 uint32_t shared_var_limit, smt::SolverConfig config = {});
+
+    smt::CheckResult CheckSat(const std::vector<smt::ExprRef> &assertions,
+                              smt::Model *model = nullptr) override;
+
+  private:
+    QueryCache *cache_;
+    uint32_t shared_var_limit_;
+};
+
+}  // namespace exec
+}  // namespace achilles
+
+#endif  // ACHILLES_EXEC_QUERY_CACHE_H_

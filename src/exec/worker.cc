@@ -1,0 +1,180 @@
+// Achilles reproduction -- parallel exploration subsystem.
+
+#include "exec/worker.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace achilles {
+namespace exec {
+
+ParallelEngine::ParallelEngine(smt::ExprContext *home,
+                               const symexec::Program *program,
+                               symexec::Mode mode,
+                               symexec::EngineConfig config,
+                               smt::SolverConfig solver_config)
+    : home_(home), program_(program), mode_(mode), config_(config),
+      solver_config_(solver_config)
+{
+    if (config_.num_workers < 1)
+        config_.num_workers = 1;
+}
+
+void
+ParallelEngine::SetIncomingMessage(std::vector<smt::ExprRef> bytes)
+{
+    incoming_ = std::move(bytes);
+}
+
+std::vector<symexec::PathResult>
+ParallelEngine::Run()
+{
+    ACHILLES_CHECK(!ran_, "ParallelEngine is one-shot");
+    ran_ = true;
+
+    const size_t n = config_.num_workers;
+    // Every variable existing in the home context now is id-aligned in
+    // every worker context; only queries confined to these variables may
+    // use the shared cache (worker-local variable ids are ambiguous).
+    const uint32_t shared_var_limit = home_->NumVars();
+    cache_ = std::make_unique<QueryCache>();
+
+    SchedulerConfig sched_config;
+    sched_config.num_workers = n;
+    sched_config.order = config_.order;
+    sched_config.random_seed = config_.random_seed;
+    sched_config.max_queued_states = config_.max_states;
+    scheduler_ = std::make_unique<WorkStealingScheduler>(sched_config);
+
+    // Per-worker engines explore disjoint subtrees; ids must therefore
+    // come from the fork tree, not from per-engine counters.
+    symexec::EngineConfig engine_config = config_;
+    engine_config.deterministic_state_ids = true;
+
+    workers_.reserve(n);
+    listeners_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        auto wc = std::make_unique<WorkerContext>();
+        wc->worker_id = i;
+        wc->bridge =
+            std::make_unique<ExprBridge>(home_, &wc->ctx, &home_mutex_);
+        wc->bridge->MirrorHomeVars();
+        wc->solver = std::make_unique<CachedSolver>(
+            &wc->ctx, cache_.get(), shared_var_limit, solver_config_);
+        wc->engine = std::make_unique<symexec::Engine>(
+            &wc->ctx, wc->solver.get(), program_, mode_, engine_config);
+        wc->engine->SetFinalizeGate([this] {
+            const size_t slot =
+                finished_paths_.fetch_add(1, std::memory_order_acq_rel);
+            if (slot + 1 >= config_.max_finished_paths)
+                scheduler_->Stop();
+            return slot < config_.max_finished_paths;
+        });
+        if (!incoming_.empty()) {
+            wc->incoming.reserve(incoming_.size());
+            for (smt::ExprRef b : incoming_)
+                wc->incoming.push_back(wc->bridge->ToRemote(b));
+            wc->engine->SetIncomingMessage(wc->incoming);
+        }
+        std::unique_ptr<symexec::Listener> listener;
+        if (factory_) {
+            listener = factory_->MakeListener(wc.get());
+            wc->engine->SetListener(listener.get());
+        }
+        listeners_.push_back(std::move(listener));
+        workers_.push_back(std::move(wc));
+    }
+
+    scheduler_->Seed(0, workers_[0]->engine->MakeInitialState());
+
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        threads.emplace_back([this, i] { WorkerLoop(i); });
+    for (std::thread &t : threads)
+        t.join();
+
+    // Merge: translate every worker's finished paths into the home
+    // context and order them by their schedule-independent state ids.
+    std::vector<symexec::PathResult> results;
+    for (auto &wc : workers_) {
+        std::vector<symexec::PathResult> part = wc->engine->TakeResults();
+        for (symexec::PathResult &r : part) {
+            for (smt::ExprRef &c : r.constraints)
+                c = wc->bridge->ToHome(c);
+            for (symexec::SentMessage &m : r.sent)
+                for (smt::ExprRef &b : m.bytes)
+                    b = wc->bridge->ToHome(b);
+            results.push_back(std::move(r));
+        }
+        stats_.Merge(wc->engine->stats());
+        stats_.Merge(wc->solver->stats());
+    }
+    std::stable_sort(results.begin(), results.end(),
+                     [](const symexec::PathResult &a,
+                        const symexec::PathResult &b) {
+                         return a.state_id < b.state_id;
+                     });
+    scheduler_->ExportStats(&stats_);
+    cache_->ExportStats(&stats_);
+    stats_.Set("exec.workers", static_cast<int64_t>(n));
+    return results;
+}
+
+void
+ParallelEngine::WorkerLoop(size_t worker_id)
+{
+    WorkerContext &wc = *workers_[worker_id];
+    WorkStealingScheduler::Batch batch;
+    std::vector<std::unique_ptr<symexec::State>> spawned;
+
+    while (scheduler_->Next(worker_id, &batch)) {
+        if (batch.owner != worker_id) {
+            // Stolen work: re-home it into this worker's context, queue
+            // it locally (preserving deque order) and go pop normally.
+            for (auto &s : batch.states) {
+                s = TransferState(*s, workers_[batch.owner]->bridge.get(),
+                                  wc.bridge.get());
+                scheduler_->Push(worker_id, &s, /*fresh=*/false);
+            }
+            continue;
+        }
+        auto state = std::move(batch.states.front());
+        spawned.clear();
+        wc.engine->AdvanceState(*state, &spawned);
+        for (auto &s : spawned) {
+            if (!scheduler_->Push(worker_id, &s, /*fresh=*/true))
+                wc.engine->FinalizeLimit(*s);
+        }
+        if (state->Finished())
+            scheduler_->OnStateFinished();
+        else
+            scheduler_->Push(worker_id, &state, /*fresh=*/false);
+    }
+}
+
+std::vector<symexec::PathResult>
+RunExploration(smt::ExprContext *ctx, smt::Solver *solver,
+               const symexec::Program *program, symexec::Mode mode,
+               const symexec::EngineConfig &config,
+               std::vector<smt::ExprRef> incoming, StatsRegistry *stats)
+{
+    if (config.num_workers > 1) {
+        ParallelEngine engine(ctx, program, mode, config,
+                              solver->config());
+        if (!incoming.empty())
+            engine.SetIncomingMessage(std::move(incoming));
+        std::vector<symexec::PathResult> paths = engine.Run();
+        stats->Merge(engine.stats());
+        return paths;
+    }
+    symexec::Engine engine(ctx, solver, program, mode, config);
+    if (!incoming.empty())
+        engine.SetIncomingMessage(std::move(incoming));
+    std::vector<symexec::PathResult> paths = engine.Run();
+    stats->Merge(engine.stats());
+    return paths;
+}
+
+}  // namespace exec
+}  // namespace achilles

@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/hash.h"
+
 namespace achilles {
 namespace smt {
 
@@ -77,6 +79,51 @@ Expr::Expr(Kind kind, uint32_t width, uint64_t aux, std::vector<ExprRef> kids)
     for (ExprRef kid : kids_)
         h = HashCombine(h, reinterpret_cast<size_t>(kid));
     hash_ = h;
+
+    // Pointer-free fingerprints (see struct_hash()): kids contribute
+    // their own, so this is O(1) per node. The second hash uses
+    // different mix constants so the pair forms an effectively 128-bit
+    // key for the shared query cache.
+    uint64_t s = MixBits((static_cast<uint64_t>(kind_) << 32) | width_);
+    s = MixBits(s + 0x9e3779b97f4a7c15ull * (aux_ + 1));
+    uint64_t s2 = MixBits(0xd6e8feb86659fd93ull +
+                          (static_cast<uint64_t>(kind_) << 40) +
+                          (static_cast<uint64_t>(width_) << 8));
+    s2 = MixBits(s2 ^ (aux_ * 0xc2b2ae3d27d4eb4full));
+    max_var_bound_ =
+        kind_ == Kind::kVar ? static_cast<uint32_t>(aux_) + 1 : 0;
+    for (ExprRef kid : kids_) {
+        s = MixBits(s + 0xff51afd7ed558ccdull * kid->struct_hash());
+        s2 = MixBits(s2 + 0x9e3779b97f4a7c15ull * kid->struct_hash2());
+        max_var_bound_ = std::max(max_var_bound_, kid->max_var_bound());
+    }
+    struct_hash_ = s;
+    struct_hash2_ = s2;
+}
+
+int
+StructuralCompare(ExprRef a, ExprRef b)
+{
+    if (a == b)
+        return 0;
+    if (a->struct_hash() != b->struct_hash())
+        return a->struct_hash() < b->struct_hash() ? -1 : 1;
+    // Fingerprint collision (vanishingly rare): full structural walk so
+    // the order stays deterministic across contexts and runs.
+    if (a->kind() != b->kind())
+        return a->kind() < b->kind() ? -1 : 1;
+    if (a->width() != b->width())
+        return a->width() < b->width() ? -1 : 1;
+    if (a->aux() != b->aux())
+        return a->aux() < b->aux() ? -1 : 1;
+    if (a->kids().size() != b->kids().size())
+        return a->kids().size() < b->kids().size() ? -1 : 1;
+    for (size_t i = 0; i < a->kids().size(); ++i) {
+        const int c = StructuralCompare(a->kid(i), b->kid(i));
+        if (c != 0)
+            return c;
+    }
+    return 0;
 }
 
 bool
@@ -144,11 +191,15 @@ ExprRef
 ExprContext::MakeBinary(Kind kind, ExprRef a, ExprRef b)
 {
     // Canonical operand order for commutative operators: constants last,
-    // otherwise pointer order. Improves interning hit rate.
+    // otherwise structural order. Improves interning hit rate; using the
+    // context-independent fingerprint (not pointer order) keeps the
+    // canonical form identical across runs and across the per-worker
+    // ExprContexts of the parallel exploration subsystem.
     if (IsCommutative(kind)) {
         if (a->IsConst() && !b->IsConst())
             std::swap(a, b);
-        else if (a->IsConst() == b->IsConst() && b < a)
+        else if (a->IsConst() == b->IsConst() &&
+                 StructuralCompare(b, a) < 0)
             std::swap(a, b);
     }
     return Intern(kind, a->width(), 0, {a, b});
@@ -449,13 +500,15 @@ ExprContext::MakeEq(ExprRef a, ExprRef b)
         if (a->IsConst())
             return a->ConstValue() ? b : MakeNot(b);
     }
+    // kEq result width is 1, not the operand width, so it cannot reuse
+    // MakeBinary -- but it must apply the same structural (not pointer)
+    // canonical operand order.
     ExprRef lo = a, hi = b;
-    if (IsCommutative(Kind::kEq)) {
-        if (lo->IsConst() && !hi->IsConst())
-            std::swap(lo, hi);
-        else if (lo->IsConst() == hi->IsConst() && hi < lo)
-            std::swap(lo, hi);
-    }
+    if (lo->IsConst() && !hi->IsConst())
+        std::swap(lo, hi);
+    else if (lo->IsConst() == hi->IsConst() &&
+             StructuralCompare(hi, lo) < 0)
+        std::swap(lo, hi);
     return Intern(Kind::kEq, 1, 0, {lo, hi});
 }
 

@@ -97,6 +97,21 @@ class Expr
     ExprRef kid(size_t i) const { return kids_[i]; }
     size_t hash() const { return hash_; }
 
+    /**
+     * Context-independent structural fingerprint: a function of kind,
+     * width, aux (constant value / variable id / extract offset) and the
+     * kids' fingerprints only -- never of pointer values. Two nodes built
+     * in different ExprContexts from id-aligned variables get the same
+     * fingerprint, which is what lets the parallel exploration subsystem
+     * canonicalize operand order, sort solver assertions and key the
+     * shared query cache identically on every worker.
+     */
+    uint64_t struct_hash() const { return struct_hash_; }
+    /** Second, independent fingerprint (128-bit keys pair the two). */
+    uint64_t struct_hash2() const { return struct_hash2_; }
+    /** Max variable id occurring in this DAG, plus 1 (0 = no vars). */
+    uint32_t max_var_bound() const { return max_var_bound_; }
+
     bool IsConst() const { return kind_ == Kind::kConst; }
     bool IsVar() const { return kind_ == Kind::kVar; }
     /** True iff this is the width-1 constant 1. */
@@ -131,7 +146,18 @@ class Expr
     uint64_t aux_;
     std::vector<ExprRef> kids_;
     size_t hash_;
+    uint64_t struct_hash_;
+    uint64_t struct_hash2_;
+    uint32_t max_var_bound_;
 };
+
+/**
+ * Deterministic, context-independent total order on expressions:
+ * fingerprint order with a full structural walk as tie-break. Returns
+ * <0, 0, >0. Used to canonicalize commutative operands and to order
+ * solver assertions identically on every worker context.
+ */
+int StructuralCompare(ExprRef a, ExprRef b);
 
 /** Metadata for one symbolic variable. */
 struct VarInfo

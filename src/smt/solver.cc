@@ -76,8 +76,14 @@ Solver::CheckSat(const std::vector<ExprRef> &assertions, Model *model)
         return CheckResult::kSat;
     }
 
-    // Deduplicate (pointer identity) to stabilize the cache key.
-    std::sort(live.begin(), live.end());
+    // Deduplicate and order structurally. The order fixes the CNF
+    // variable numbering, so it must not depend on pointer values:
+    // structural order makes the SAT instance -- and therefore the model
+    // returned for satisfiable queries -- identical across runs and
+    // across the id-aligned worker contexts of the parallel explorer.
+    std::sort(live.begin(), live.end(), [](ExprRef a, ExprRef b) {
+        return StructuralCompare(a, b) < 0;
+    });
     live.erase(std::unique(live.begin(), live.end()), live.end());
 
     uint64_t key = 0;

@@ -46,19 +46,25 @@ struct SolverConfig
  * fresh SAT instance (the Achilles search generates many small related
  * queries rather than one growing one, so the cache is the effective
  * incrementality mechanism).
+ *
+ * CheckSat is virtual so decorators can interpose (the parallel
+ * exploration subsystem wraps each worker's solver with a shared
+ * cross-worker query cache, see exec/query_cache.h). A Solver instance
+ * is not thread-safe; parallel exploration gives each worker its own.
  */
 class Solver
 {
   public:
     explicit Solver(ExprContext *ctx, SolverConfig config = {});
+    virtual ~Solver() = default;
 
     /**
      * Check satisfiability of the conjunction of `assertions`.
      * On kSat and non-null `model`, fills `model` with values for every
      * variable occurring in the assertions.
      */
-    CheckResult CheckSat(const std::vector<ExprRef> &assertions,
-                         Model *model = nullptr);
+    virtual CheckResult CheckSat(const std::vector<ExprRef> &assertions,
+                                 Model *model = nullptr);
 
     /** Convenience overload for a single (possibly And-tree) assertion. */
     CheckResult CheckSatExpr(ExprRef e, Model *model = nullptr);
@@ -71,6 +77,7 @@ class Solver
     }
 
     ExprContext *ctx() { return ctx_; }
+    const SolverConfig &config() const { return config_; }
     const StatsRegistry &stats() const { return stats_; }
     StatsRegistry *mutable_stats() { return &stats_; }
 

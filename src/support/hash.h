@@ -1,0 +1,25 @@
+// Achilles reproduction -- support library.
+//
+// Shared hashing primitives. Deterministic across runs and platforms;
+// used for expression fingerprints, tree-derived state ids and query
+// cache keys, so every user must mix bits identically.
+
+#ifndef ACHILLES_SUPPORT_HASH_H_
+#define ACHILLES_SUPPORT_HASH_H_
+
+#include <cstdint>
+
+namespace achilles {
+
+/** splitmix64 finalizer -- avalanche a 64-bit value. */
+inline uint64_t
+MixBits(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+}  // namespace achilles
+
+#endif  // ACHILLES_SUPPORT_HASH_H_

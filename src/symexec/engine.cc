@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "support/hash.h"
+
 namespace achilles {
 namespace symexec {
 
@@ -142,6 +144,24 @@ void
 Engine::FinalizePath(State &state, PathOutcome outcome)
 {
     state.SetOutcome(outcome);
+    // Respect max_finished_paths BEFORE finalizing: once the budget is
+    // spent, a finishing path is dropped without being recorded or
+    // reported to the listener, so a run never returns more than the
+    // configured number of results. The parallel engine installs a gate
+    // here to enforce the cap globally across workers.
+    const bool admit = finalize_gate_
+                           ? finalize_gate_()
+                           : results_.size() < config_.max_finished_paths;
+    if (!admit) {
+        stats_.Bump("engine.finished_path_drops");
+        return;
+    }
+    // Accept notification happens here, after admission, so a listener
+    // never sees (and e.g. emits a Trojan witness for) a path that the
+    // budget drops -- that would desynchronize witnesses from results
+    // and make capped parallel runs schedule-dependent.
+    if (outcome == PathOutcome::kAccepted && listener_)
+        listener_->OnAccept(state);
     PathResult result;
     result.state_id = state.id();
     result.outcome = outcome;
@@ -222,7 +242,7 @@ Engine::ExecuteStep(State &state, std::vector<std::unique_ptr<State>> *spawned)
         const bool feas_false = Feasible(state, not_cond);
         if (feas_true && feas_false) {
             stats_.Bump("engine.forks");
-            auto other = state.Clone(next_state_id_++);
+            auto other = state.Clone(NextChildId(state));
             other->TopFrame().pc = ins.b;
             other->AddConstraint(not_cond);
             bool keep_other = true;
@@ -288,13 +308,9 @@ Engine::ExecuteStep(State &state, std::vector<std::unique_ptr<State>> *spawned)
             // that replied accepted the message; one that fell back to
             // its event loop without replying rejected it.
             if (mode_ == Mode::kServer) {
-                if (state.replied()) {
-                    if (listener_)
-                        listener_->OnAccept(state);
-                    FinalizePath(state, PathOutcome::kAccepted);
-                } else {
-                    FinalizePath(state, PathOutcome::kRejected);
-                }
+                FinalizePath(state, state.replied()
+                                        ? PathOutcome::kAccepted
+                                        : PathOutcome::kRejected);
             } else {
                 FinalizePath(state, PathOutcome::kClientDone);
             }
@@ -312,13 +328,8 @@ Engine::ExecuteStep(State &state, std::vector<std::unique_ptr<State>> *spawned)
       }
       case IOp::kHalt:
         if (mode_ == Mode::kServer) {
-            if (state.replied()) {
-                if (listener_)
-                    listener_->OnAccept(state);
-                FinalizePath(state, PathOutcome::kAccepted);
-            } else {
-                FinalizePath(state, PathOutcome::kRejected);
-            }
+            FinalizePath(state, state.replied() ? PathOutcome::kAccepted
+                                                : PathOutcome::kRejected);
         } else {
             FinalizePath(state, PathOutcome::kClientDone);
         }
@@ -376,8 +387,6 @@ Engine::ExecuteStep(State &state, std::vector<std::unique_ptr<State>> *spawned)
       }
       case IOp::kMarkAccept:
         state.accept_label = ins.label;
-        if (listener_)
-            listener_->OnAccept(state);
         FinalizePath(state, PathOutcome::kAccepted);
         break;
       case IOp::kMarkReject:
@@ -422,6 +431,55 @@ Engine::ExecuteStep(State &state, std::vector<std::unique_ptr<State>> *spawned)
     }
 }
 
+namespace {
+
+/** Mix (parent id, fork sequence) into a schedule-independent child id. */
+uint64_t
+DeriveChildId(uint64_t parent, uint32_t seq)
+{
+    return MixBits(parent + 0x9e3779b97f4a7c15ull * (seq + 1));
+}
+
+}  // namespace
+
+uint64_t
+Engine::NextChildId(State &parent)
+{
+    stats_.Bump("engine.states_created");
+    if (config_.deterministic_state_ids)
+        return DeriveChildId(parent.id(), parent.NextForkSeq());
+    return next_state_id_++;
+}
+
+std::unique_ptr<State>
+Engine::MakeInitialState()
+{
+    stats_.Bump("engine.states_created");
+    const uint64_t id =
+        config_.deterministic_state_ids ? 0 : next_state_id_++;
+    auto initial = std::make_unique<State>(id, program_);
+    initial->TopFrame().func = entry_func_;
+    return initial;
+}
+
+bool
+Engine::AdvanceState(State &state,
+                     std::vector<std::unique_ptr<State>> *spawned)
+{
+    // Run the state until it forks, finishes, or exhausts its budget.
+    while (!state.Finished()) {
+        if (state.steps() >= config_.max_steps_per_state) {
+            FinalizePath(state, PathOutcome::kLimit);
+            break;
+        }
+        state.BumpSteps();
+        ExecuteStep(state, spawned);
+        if (!spawned->empty())
+            break;
+    }
+    return state.Finished();
+}
+
 std::unique_ptr<State>
 Engine::PopNext()
 {
@@ -452,32 +510,19 @@ Engine::Run()
 {
     results_.clear();
     worklist_.clear();
-    auto initial = std::make_unique<State>(next_state_id_++, program_);
-    initial->TopFrame().func = entry_func_;
-    worklist_.push_back(std::move(initial));
+    worklist_.push_back(MakeInitialState());
 
     while (!worklist_.empty() &&
            results_.size() < config_.max_finished_paths) {
         auto state = PopNext();
         std::vector<std::unique_ptr<State>> spawned;
-        // Run the state until it forks or finishes, then reschedule.
-        while (!state->Finished()) {
-            if (state->steps() >= config_.max_steps_per_state) {
-                FinalizePath(*state, PathOutcome::kLimit);
-                break;
-            }
-            state->BumpSteps();
-            ExecuteStep(*state, &spawned);
-            if (!spawned.empty())
-                break;
-        }
+        AdvanceState(*state, &spawned);
         for (auto &s : spawned) {
             if (worklist_.size() >= config_.max_states) {
                 // Graceful degradation: finish the subtree as a limit
                 // path instead of exploring it (keeps the engine usable
                 // as a bounded-analysis library).
-                stats_.Bump("engine.state_budget_drops");
-                FinalizePath(*s, PathOutcome::kLimit);
+                FinalizeLimit(*s);
                 continue;
             }
             worklist_.push_back(std::move(s));
@@ -485,7 +530,6 @@ Engine::Run()
         if (!state->Finished())
             worklist_.push_back(std::move(state));
     }
-    stats_.Set("engine.states_created", next_state_id_);
     return std::move(results_);
 }
 

@@ -11,6 +11,7 @@
 #define ACHILLES_SYMEXEC_ENGINE_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -43,6 +44,21 @@ struct EngineConfig
     size_t max_steps_per_state = 1 << 16;
     size_t max_finished_paths = 1 << 20;
     uint64_t random_seed = 1;
+    /**
+     * Number of exploration workers. 1 (the default) keeps today's
+     * serial in-engine worklist; values > 1 make the higher layers
+     * (ServerExplorer, classic SE, client extraction) route the run
+     * through the exec::ParallelEngine work-stealing subsystem.
+     */
+    size_t num_workers = 1;
+    /**
+     * Derive child state ids from the fork tree (hash of parent id and
+     * per-state fork sequence) instead of a creation counter. Tree ids
+     * are independent of exploration schedule, which is what lets a
+     * parallel run order its results deterministically. Off by default:
+     * serial runs keep the historical dense counter ids.
+     */
+    bool deterministic_state_ids = false;
     /**
      * Error-reply classification (the paper's "4xx status code"
      * extension of the default accept/reject rule): a server reply
@@ -81,7 +97,11 @@ class Listener
         return true;
     }
 
-    /** A path reached accepting classification (before finalization). */
+    /**
+     * A path reached accepting classification. Fires during
+     * finalization, after the finished-path budget admits the path, so
+     * listeners never act on paths the budget drops.
+     */
     virtual void OnAccept(State &state) { (void)state; }
 
     /** A path finished with any outcome. */
@@ -114,6 +134,50 @@ class Engine
     /** Explore all paths; returns results for every finished path. */
     std::vector<PathResult> Run();
 
+    // -- Stepping interface (used by exec::ParallelEngine workers) -----
+    //
+    // A worker drives one Engine instance over states it does not keep
+    // in the engine: MakeInitialState() creates the root, AdvanceState()
+    // runs one state until it forks or finishes, TakeResults() collects
+    // the finished paths afterwards. Run() is implemented on top of the
+    // same primitives.
+
+    /** Create the entry state (id 0 when deterministic ids are on). */
+    std::unique_ptr<State> MakeInitialState();
+
+    /**
+     * Run `state` until it forks (children in `spawned`), finishes, or
+     * hits the per-state step budget. Returns true iff it finished.
+     */
+    bool AdvanceState(State &state,
+                      std::vector<std::unique_ptr<State>> *spawned);
+
+    /** Finish a state as kLimit (state budget exhausted at a fork). */
+    void
+    FinalizeLimit(State &state)
+    {
+        stats_.Bump("engine.state_budget_drops");
+        FinalizePath(state, PathOutcome::kLimit);
+    }
+
+    /** Move the finished-path results out of the engine. */
+    std::vector<PathResult>
+    TakeResults()
+    {
+        return std::move(results_);
+    }
+
+    /**
+     * Install a global admission check consulted before a path is
+     * finalized (records + listener notification). Overrides the
+     * engine-local max_finished_paths check; the parallel engine uses it
+     * to enforce the path cap across all workers.
+     */
+    void SetFinalizeGate(std::function<bool()> gate)
+    {
+        finalize_gate_ = std::move(gate);
+    }
+
     const StatsRegistry &stats() const { return stats_; }
 
   private:
@@ -124,6 +188,7 @@ class Engine
                      std::vector<std::unique_ptr<State>> *spawned);
     void FinalizePath(State &state, PathOutcome outcome);
     bool Feasible(const State &state, smt::ExprRef extra);
+    uint64_t NextChildId(State &parent);
     std::unique_ptr<State> PopNext();
 
     smt::ExprContext *ctx_;
@@ -137,6 +202,7 @@ class Engine
     std::deque<std::unique_ptr<State>> worklist_;
     std::vector<PathResult> results_;
     uint64_t next_state_id_ = 0;
+    std::function<bool()> finalize_gate_;
     Rng rng_;
     StatsRegistry stats_;
 };

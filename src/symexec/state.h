@@ -8,6 +8,7 @@
 #ifndef ACHILLES_SYMEXEC_STATE_H_
 #define ACHILLES_SYMEXEC_STATE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -95,11 +96,36 @@ class State
           program_(other.program_), frames_(other.frames_),
           constraints_(other.constraints_), sent_(other.sent_),
           replied_(other.replied_), outcome_(other.outcome_),
-          depth_(other.depth_), steps_(other.steps_)
+          depth_(other.depth_), steps_(other.steps_),
+          fork_seq_(other.fork_seq_)
     {
         // user_data_ is cloned by Clone(); plain copy leaves it null.
     }
     State &operator=(const State &) = delete;
+
+    /**
+     * Rewrite every expression held by this state through `translate`.
+     * Used by the parallel exploration subsystem to re-home a state
+     * stolen from another worker into the thief's ExprContext (see
+     * exec/expr_transfer.h). The opaque user_data is untouched: it must
+     * not hold ExprRefs of the source context.
+     */
+    void
+    TranslateExprs(const std::function<smt::ExprRef(smt::ExprRef)> &translate)
+    {
+        for (CallFrame &frame : frames_) {
+            for (auto &[name, slot] : frame.locals)
+                slot.second = translate(slot.second);
+            for (auto &[name, array] : frame.arrays)
+                for (smt::ExprRef &cell : array.cells)
+                    cell = translate(cell);
+        }
+        for (smt::ExprRef &c : constraints_)
+            c = translate(c);
+        for (SentMessage &m : sent_)
+            for (smt::ExprRef &b : m.bytes)
+                b = translate(b);
+    }
 
     uint64_t id() const { return id_; }
     const Program *program() const { return program_; }
@@ -161,6 +187,13 @@ class State
     size_t steps() const { return steps_; }
     void BumpSteps() { ++steps_; }
 
+    /**
+     * Per-state fork counter, used to derive schedule-independent child
+     * state ids: the (parent id, fork sequence) pair is a deterministic
+     * function of the path alone, not of exploration order.
+     */
+    uint32_t NextForkSeq() { return fork_seq_++; }
+
     void SetUserData(std::unique_ptr<StateUserData> d)
     {
         user_data_ = std::move(d);
@@ -180,6 +213,7 @@ class State
     PathOutcome outcome_ = PathOutcome::kRunning;
     size_t depth_ = 0;
     size_t steps_ = 0;
+    uint32_t fork_seq_ = 0;
     std::unique_ptr<StateUserData> user_data_;
 };
 
