@@ -3,15 +3,28 @@
 // Measures the design choices DESIGN.md calls out for the solver
 // substrate: the interval fast path vs full bit-blasting, expression
 // interning, and raw CDCL search on a hard instance.
+//
+// Besides the Google Benchmark suite, an incremental-vs-fresh
+// comparison runs on the shared-prefix Trojan-query workload (phase 2's
+// dominant query shape: one pathS prefix, many ¬pathC_i iterated
+// against it) whenever `--compare-incremental` or `--json <path>` is on
+// the command line; its metrics feed the perf-trajectory artifacts CI
+// collects.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "smt/bitblast.h"
 #include "smt/eval.h"
 #include "smt/interval.h"
 #include "smt/sat.h"
 #include "smt/solver.h"
 #include "support/rng.h"
+#include "support/timer.h"
 
 using namespace achilles;
 using namespace achilles::smt;
@@ -168,6 +181,139 @@ BM_Evaluate(benchmark::State &state)
 }
 BENCHMARK(BM_Evaluate);
 
+// ---------------------------------------------------------------------
+// Incremental-vs-fresh comparison on the shared-prefix Trojan workload.
+// ---------------------------------------------------------------------
+
+struct TrojanWorkload
+{
+    ExprContext ctx;
+    /** Growing pathS prefixes: prefix[d] has d+1 byte constraints. */
+    std::vector<std::vector<ExprRef>> prefixes;
+    /** Per-predicate negation disjunctions (¬pathC_i). */
+    std::vector<ExprRef> negations;
+};
+
+/** Phase-2 query shape: pathS over 16 message bytes, 96 predicate
+ *  negations, a CRC-ish arithmetic coupling to keep the SAT core
+ *  honest. */
+std::unique_ptr<TrojanWorkload>
+MakeTrojanWorkload()
+{
+    auto w = std::make_unique<TrojanWorkload>();
+    ExprContext &ctx = w->ctx;
+    Rng rng(0x7101a);
+    std::vector<ExprRef> bytes;
+    for (int i = 0; i < 16; ++i)
+        bytes.push_back(ctx.FreshVar("m", 8));
+
+    // pathS: per-byte range constraints plus a running checksum bound at
+    // every depth, the way server parse paths accumulate arithmetic over
+    // the bytes consumed so far. The deepening multiply/xor chain is
+    // what makes re-bit-blasting the prefix per query expensive on the
+    // fresh-instance path and free (memoized CNF) on the incremental
+    // one.
+    std::vector<ExprRef> prefix;
+    ExprRef crc = ctx.MakeConst(8, 0x5a);
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        crc = ctx.MakeXor(ctx.MakeMul(crc, ctx.MakeConst(8, 13)),
+                          bytes[i]);
+        prefix.push_back(i % 3 == 0
+                             ? ctx.MakeUlt(bytes[i], ctx.MakeConst(8, 240))
+                             : ctx.MakeNe(bytes[i],
+                                          ctx.MakeConst(8, rng.Below(256))));
+        prefix.push_back(ctx.MakeUlt(crc, ctx.MakeConst(8, 250)));
+        w->prefixes.push_back(prefix);
+    }
+
+    for (int p = 0; p < 96; ++p) {
+        std::vector<ExprRef> disj;
+        for (int f = 0; f < 4; ++f) {
+            disj.push_back(ctx.MakeNe(bytes[rng.Below(bytes.size())],
+                                      ctx.MakeConst(8, rng.Below(256))));
+        }
+        w->negations.push_back(ctx.MakeOrList(disj));
+    }
+    return w;
+}
+
+/** Run the full query stream; returns seconds. Results are recorded so
+ *  the two configurations can be cross-checked. */
+double
+RunTrojanStream(TrojanWorkload *w, bool incremental,
+                std::vector<CheckResult> *results)
+{
+    SolverConfig config;
+    config.enable_incremental = incremental;
+    config.enable_cache = false;  // isolate the backend, not the memo
+    Solver solver(&w->ctx, config);
+    results->clear();
+    Timer timer;
+    // Every state (prefix depth) sweeps all live predicates, exactly the
+    // HandleBranch/TrojanQuery iteration pattern.
+    for (const std::vector<ExprRef> &prefix : w->prefixes) {
+        for (ExprRef neg : w->negations)
+            results->push_back(solver.CheckSatAssuming(prefix, {neg}));
+    }
+    return timer.Seconds();
+}
+
+bool
+CompareIncrementalVsFresh()
+{
+    bench::Header("Incremental assumption-based backend vs fresh "
+                  "instances (shared-prefix Trojan stream)");
+    std::unique_ptr<TrojanWorkload> w = MakeTrojanWorkload();
+    std::vector<CheckResult> fresh_results, inc_results;
+    // Warm once to stabilize allocator state, then measure.
+    RunTrojanStream(w.get(), /*incremental=*/false, &fresh_results);
+    const double fresh_s =
+        RunTrojanStream(w.get(), /*incremental=*/false, &fresh_results);
+    const double inc_s =
+        RunTrojanStream(w.get(), /*incremental=*/true, &inc_results);
+    const size_t queries = fresh_results.size();
+    const bool agree = fresh_results == inc_results;
+
+    bench::Metric("smt.trojan_stream_queries",
+                  static_cast<double>(queries));
+    bench::Metric("smt.fresh_seconds", fresh_s, "s");
+    bench::Metric("smt.incremental_seconds", inc_s, "s");
+    bench::Metric("smt.incremental_speedup",
+                  inc_s > 0 ? fresh_s / inc_s : 0.0, "x");
+    bench::Metric("smt.results_identical", agree ? 1 : 0);
+    if (!agree)
+        std::printf("  ERROR: incremental and fresh verdicts diverged\n");
+    return agree;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bench::ParseBenchArgs(argc, argv);
+    bool compare = false;
+    // Strip harness-only flags before handing argv to Google Benchmark.
+    std::vector<char *> gbench_argv{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            compare = true;
+            ++i;
+        } else if (std::strcmp(argv[i], "--compare-incremental") == 0) {
+            compare = true;
+        } else {
+            gbench_argv.push_back(argv[i]);
+        }
+    }
+    // A verdict divergence must fail the process (CI gates on it).
+    const bool agree = compare ? CompareIncrementalVsFresh() : true;
+
+    int gbench_argc = static_cast<int>(gbench_argv.size());
+    benchmark::Initialize(&gbench_argc, gbench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(gbench_argc,
+                                               gbench_argv.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return agree ? 0 : 1;
+}

@@ -218,11 +218,14 @@ bool
 ServerExplorer::PredicateMatches(Plane &plane, const symexec::State &state,
                                  size_t i)
 {
-    std::vector<smt::ExprRef> query = state.constraints();
-    query.insert(query.end(), (*plane.match)[i].begin(),
-                 (*plane.match)[i].end());
+    // pathS as the base, predicate i's match conjunction as the extras:
+    // iterating i over the live set re-asserts the same base, which the
+    // incremental solver backend turns into assumption flips over
+    // already-blasted CNF.
     plane.stats->Bump("explorer.match_queries");
-    return plane.solver->CheckSat(query) != smt::CheckResult::kUnsat;
+    return plane.solver->CheckSatAssuming(state.constraints(),
+                                          (*plane.match)[i]) !=
+           smt::CheckResult::kUnsat;
 }
 
 smt::CheckResult
@@ -230,7 +233,8 @@ ServerExplorer::TrojanQuery(
     Plane &plane, const std::vector<smt::ExprRef> &path_constraints,
     const std::vector<uint32_t> &live, smt::Model *model)
 {
-    std::vector<smt::ExprRef> query = path_constraints;
+    std::vector<smt::ExprRef> negations;
+    negations.reserve(live.size());
     for (uint32_t i : live) {
         if ((*plane.negations)[i] == nullptr) {
             // An un-negatable live predicate blocks the whole query: we
@@ -238,10 +242,11 @@ ServerExplorer::TrojanQuery(
             plane.stats->Bump("explorer.blocked_by_unusable_negation");
             return smt::CheckResult::kUnsat;
         }
-        query.push_back((*plane.negations)[i]);
+        negations.push_back((*plane.negations)[i]);
     }
     plane.stats->Bump("explorer.trojan_queries");
-    return plane.solver->CheckSat(query, model);
+    return plane.solver->CheckSatAssuming(path_constraints, negations,
+                                          model);
 }
 
 std::vector<std::string>

@@ -11,12 +11,22 @@ namespace exec {
 
 bool
 QueryCache::ComputeKey(const std::vector<smt::ExprRef> &assertions,
-                       uint32_t shared_var_limit, QueryCacheKey *out)
+                       uint32_t shared_var_limit, QueryCacheKey *out,
+                       QueryFingerprints *fingerprints,
+                       const std::vector<smt::ExprRef> *extras)
 {
     // Deduplicate (nodes are interned, pointer identity == structural
     // identity within a context) so the key matches however the caller
-    // happened to repeat conjuncts.
-    std::vector<smt::ExprRef> unique_assertions = assertions;
+    // happened to repeat or split conjuncts.
+    std::vector<smt::ExprRef> unique_assertions;
+    unique_assertions.reserve(assertions.size() +
+                              (extras ? extras->size() : 0));
+    unique_assertions.insert(unique_assertions.end(), assertions.begin(),
+                             assertions.end());
+    if (extras != nullptr) {
+        unique_assertions.insert(unique_assertions.end(), extras->begin(),
+                                 extras->end());
+    }
     std::sort(unique_assertions.begin(), unique_assertions.end());
     unique_assertions.erase(
         std::unique(unique_assertions.begin(), unique_assertions.end()),
@@ -28,13 +38,20 @@ QueryCache::ComputeKey(const std::vector<smt::ExprRef> &assertions,
     // Commutative accumulation keeps the key order-insensitive, matching
     // the logical conjunction the assertions denote. Both fingerprints
     // and the variable bound are precomputed per node, so this is O(1)
-    // per assertion.
+    // per assertion. The additive key alone is collision-prone (sums of
+    // per-assertion hashes can coincide across different sets), so the
+    // sorted per-assertion fingerprints travel with it for verification
+    // on every Lookup/Insert.
+    fingerprints->clear();
+    fingerprints->reserve(unique_assertions.size());
     for (smt::ExprRef e : unique_assertions) {
         if (e->max_var_bound() > shared_var_limit)
             return false;
         lo += MixBits(e->struct_hash() ^ 0xa0761d6478bd642full);
         hi += MixBits(e->struct_hash2() + 0xe7037ed1a0b428dbull);
+        fingerprints->emplace_back(e->struct_hash(), e->struct_hash2());
     }
+    std::sort(fingerprints->begin(), fingerprints->end());
     out->lo = lo;
     out->hi = hi;
     return true;
@@ -56,8 +73,9 @@ QueryCache::ShardFor(const QueryCacheKey &key)
 }
 
 bool
-QueryCache::Lookup(const QueryCacheKey &key, smt::CheckResult *result,
-                   smt::Model *model)
+QueryCache::Lookup(const QueryCacheKey &key,
+                   const QueryFingerprints &fingerprints, bool want_model,
+                   smt::CheckResult *result, smt::Model *model)
 {
     Shard &shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -66,22 +84,55 @@ QueryCache::Lookup(const QueryCacheKey &key, smt::CheckResult *result,
         misses_.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
+    const Entry &entry = it->second;
+    if (entry.fingerprints != fingerprints) {
+        collisions_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (want_model && entry.result == smt::CheckResult::kSat &&
+        !entry.has_model) {
+        // Known-sat but no witness stored: the caller must re-solve on
+        // the model-producing path (which will upgrade this entry).
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
     hits_.fetch_add(1, std::memory_order_relaxed);
-    *result = it->second.result;
+    *result = entry.result;
     if (model)
-        *model = it->second.model;
+        *model = entry.model;
     return true;
 }
 
 void
-QueryCache::Insert(const QueryCacheKey &key, smt::CheckResult result,
+QueryCache::Insert(const QueryCacheKey &key,
+                   const QueryFingerprints &fingerprints,
+                   smt::CheckResult result, bool has_model,
                    const smt::Model &model)
 {
     if (result == smt::CheckResult::kUnknown)
         return;  // may become decidable with a bigger budget; don't pin
     Shard &shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.map.emplace(key, Entry{result, model});
+    auto [it, inserted] =
+        shard.map.try_emplace(key, Entry{result, has_model, fingerprints,
+                                         model});
+    if (inserted)
+        return;
+    Entry &entry = it->second;
+    if (entry.fingerprints != fingerprints) {
+        // Key collision with a different assertion set: first one wins,
+        // the loser simply stays uncached.
+        collisions_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (has_model && !entry.has_model) {
+        // Model upgrade. The fresh-instance path computes models as a
+        // pure function of the query, so whichever worker performs the
+        // upgrade stores the same bytes.
+        entry.model = model;
+        entry.has_model = true;
+    }
 }
 
 size_t
@@ -100,6 +151,7 @@ QueryCache::ExportStats(StatsRegistry *stats) const
 {
     stats->Bump("exec.queries_cached", hits());
     stats->Bump("exec.query_cache_misses", misses());
+    stats->Bump("exec.query_cache_collisions", collisions());
     stats->Set("exec.query_cache_entries", static_cast<int64_t>(size()));
 }
 
@@ -114,25 +166,44 @@ smt::CheckResult
 CachedSolver::CheckSat(const std::vector<smt::ExprRef> &assertions,
                        smt::Model *model)
 {
+    return CheckShared(assertions, nullptr, model);
+}
+
+smt::CheckResult
+CachedSolver::CheckSatAssuming(const std::vector<smt::ExprRef> &base,
+                               const std::vector<smt::ExprRef> &extras,
+                               smt::Model *model)
+{
+    return CheckShared(base, &extras, model);
+}
+
+smt::CheckResult
+CachedSolver::CheckShared(const std::vector<smt::ExprRef> &base,
+                          const std::vector<smt::ExprRef> *extras,
+                          smt::Model *model)
+{
     QueryCacheKey key;
+    QueryFingerprints fingerprints;
     if (cache_ == nullptr ||
-        !QueryCache::ComputeKey(assertions, shared_var_limit_, &key)) {
-        return Solver::CheckSat(assertions, model);
+        !QueryCache::ComputeKey(base, shared_var_limit_, &key,
+                                &fingerprints, extras)) {
+        return Solver::CheckSatSets(base, extras, model);
     }
     smt::CheckResult result;
-    if (cache_->Lookup(key, &result, model)) {
+    if (cache_->Lookup(key, fingerprints, model != nullptr, &result,
+                       model)) {
         // Counted once, in the cache's own hit counter (exported as
         // "exec.queries_cached" by ExportStats) -- a per-solver bump
         // here would double-count after the merge.
         return result;
     }
-    // Always request the model: a hit for this key later must be able to
-    // serve Trojan-query callers that want one.
-    smt::Model computed;
-    result = Solver::CheckSat(assertions, &computed);
-    cache_->Insert(key, result, computed);
-    if (model)
-        *model = computed;
+    // Model-less queries run on the per-worker incremental backend and
+    // publish model-less entries; a later model-requesting caller takes
+    // the deterministic fresh-instance path and upgrades the entry.
+    result = Solver::CheckSatSets(base, extras, model);
+    cache_->Insert(key, fingerprints, result,
+                   /*has_model=*/model != nullptr,
+                   model != nullptr ? *model : smt::Model());
     return result;
 }
 

@@ -4,10 +4,14 @@
 // re-issues the same feasibility and predicate-match queries from many
 // sibling states (ServerExplorer::PredicateMatches is the dominant
 // repeated work); with several workers the repetition also crosses
-// threads. This cache memoizes CheckSat results -- including the model,
-// so a later identical Trojan query resolves without a SAT call -- under
-// a canonical 128-bit key computed from the context-independent
-// structural fingerprints of the assertion set.
+// threads. This cache memoizes CheckSat results under a canonical
+// 128-bit key computed from the context-independent structural
+// fingerprints of the assertion set, verified against the per-assertion
+// fingerprints on every probe. Models are carried for entries produced
+// (or later upgraded) by the model-producing fresh-instance path, so an
+// identical Trojan query can resolve witness bytes without a SAT call;
+// entries from the model-less incremental path serve result-only
+// callers and are upgraded in place on first model demand.
 //
 // Key soundness: fingerprints hash variables by id, so a key is only
 // valid across contexts when the ids mean the same variable everywhere.
@@ -47,6 +51,16 @@ struct QueryCacheKey
 };
 
 /**
+ * Per-assertion verification material stored next to each entry: the
+ * sorted (struct_hash, struct_hash2) pairs of the canonical assertion
+ * set. The 128-bit map key is an additive accumulation, so two distinct
+ * assertion sets can collide on it; comparing the per-assertion
+ * fingerprints on every hit turns such a collision into a miss instead
+ * of silently returning another query's result/model.
+ */
+using QueryFingerprints = std::vector<std::pair<uint64_t, uint64_t>>;
+
+/**
  * The shared cross-worker query cache.
  *
  * Lock-striped: keys are distributed over `shards` independent maps,
@@ -60,26 +74,49 @@ class QueryCache
     QueryCache &operator=(const QueryCache &) = delete;
 
     /**
-     * Compute the canonical key for an assertion set. Returns false --
-     * query not cacheable -- when any assertion mentions a variable with
-     * id >= `shared_var_limit` (a worker-local variable whose id is not
+     * Compute the canonical key for an assertion set (optionally split
+     * as assertions ∪ extras, mirroring CheckSatAssuming, so hot
+     * callers need not concatenate), plus the sorted per-assertion
+     * fingerprints verified on every probe. Returns false -- query not
+     * cacheable -- when any assertion mentions a variable with id >=
+     * `shared_var_limit` (a worker-local variable whose id is not
      * globally meaningful). Duplicate assertions do not affect the key.
      */
     static bool ComputeKey(const std::vector<smt::ExprRef> &assertions,
-                           uint32_t shared_var_limit, QueryCacheKey *out);
+                           uint32_t shared_var_limit, QueryCacheKey *out,
+                           QueryFingerprints *fingerprints,
+                           const std::vector<smt::ExprRef> *extras = nullptr);
 
-    /** Probe; fills result (and model, when non-null) on a hit. */
-    bool Lookup(const QueryCacheKey &key, smt::CheckResult *result,
-                smt::Model *model);
+    /**
+     * Probe. A hit requires the stored fingerprints to match (a bare
+     * key match is treated as a collision and reported as a miss) and,
+     * when `want_model` is set, a kSat entry to actually carry a model
+     * (entries published by the model-less incremental solving path do
+     * not; the caller re-solves on the deterministic model-producing
+     * path and upgrades the entry via Insert).
+     */
+    bool Lookup(const QueryCacheKey &key,
+                const QueryFingerprints &fingerprints, bool want_model,
+                smt::CheckResult *result, smt::Model *model);
 
-    /** Publish a result (kUnknown results are not stored). */
-    void Insert(const QueryCacheKey &key, smt::CheckResult result,
+    /**
+     * Publish a result (kUnknown results are not stored). Re-inserting
+     * an existing entry with `has_model` set upgrades a model-less
+     * entry in place; fingerprint-mismatched keys are left untouched.
+     */
+    void Insert(const QueryCacheKey &key,
+                const QueryFingerprints &fingerprints,
+                smt::CheckResult result, bool has_model,
                 const smt::Model &model);
 
     int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
     int64_t misses() const
     {
         return misses_.load(std::memory_order_relaxed);
+    }
+    int64_t collisions() const
+    {
+        return collisions_.load(std::memory_order_relaxed);
     }
     size_t size() const;
 
@@ -90,6 +127,8 @@ class QueryCache
     struct Entry
     {
         smt::CheckResult result = smt::CheckResult::kUnknown;
+        bool has_model = false;
+        QueryFingerprints fingerprints;
         smt::Model model;
     };
     struct KeyHash
@@ -110,6 +149,7 @@ class QueryCache
     std::vector<std::unique_ptr<Shard>> shards_;
     std::atomic<int64_t> hits_{0};
     std::atomic<int64_t> misses_{0};
+    std::atomic<int64_t> collisions_{0};
 };
 
 /**
@@ -132,7 +172,16 @@ class CachedSolver : public smt::Solver
     smt::CheckResult CheckSat(const std::vector<smt::ExprRef> &assertions,
                               smt::Model *model = nullptr) override;
 
+    smt::CheckResult CheckSatAssuming(
+        const std::vector<smt::ExprRef> &base,
+        const std::vector<smt::ExprRef> &extras,
+        smt::Model *model = nullptr) override;
+
   private:
+    smt::CheckResult CheckShared(const std::vector<smt::ExprRef> &base,
+                                 const std::vector<smt::ExprRef> *extras,
+                                 smt::Model *model);
+
     QueryCache *cache_;
     uint32_t shared_var_limit_;
 };

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <unordered_map>
 
 namespace achilles {
 namespace smt {
@@ -27,7 +29,71 @@ SatSolver::NewVar()
     seen_.push_back(0);
     watches_.emplace_back();
     watches_.emplace_back();
+    heap_pos_.push_back(-1);
+    HeapInsert(v);
     return v;
+}
+
+void
+SatSolver::HeapSiftUp(size_t i)
+{
+    const uint32_t v = heap_[i];
+    while (i > 0) {
+        const size_t parent = (i - 1) / 2;
+        if (!HeapBefore(v, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        heap_pos_[heap_[i]] = static_cast<int32_t>(i);
+        i = parent;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<int32_t>(i);
+}
+
+void
+SatSolver::HeapSiftDown(size_t i)
+{
+    const uint32_t v = heap_[i];
+    const size_t n = heap_.size();
+    while (true) {
+        size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && HeapBefore(heap_[child + 1], heap_[child]))
+            ++child;
+        if (!HeapBefore(heap_[child], v))
+            break;
+        heap_[i] = heap_[child];
+        heap_pos_[heap_[i]] = static_cast<int32_t>(i);
+        i = child;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<int32_t>(i);
+}
+
+void
+SatSolver::HeapInsert(uint32_t var)
+{
+    if (heap_pos_[var] >= 0)
+        return;
+    heap_.push_back(var);
+    heap_pos_[var] = static_cast<int32_t>(heap_.size() - 1);
+    HeapSiftUp(heap_.size() - 1);
+}
+
+uint32_t
+SatSolver::HeapPop()
+{
+    const uint32_t top = heap_[0];
+    heap_pos_[top] = -1;
+    const uint32_t last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_[0] = last;
+        heap_pos_[last] = 0;
+        HeapSiftDown(0);
+    }
+    return top;
 }
 
 LBool
@@ -88,12 +154,45 @@ SatSolver::ClauseRef
 SatSolver::AllocClause(const std::vector<Lit> &lits, bool learnt)
 {
     const ClauseRef cref = static_cast<ClauseRef>(arena_.size());
-    arena_.push_back(static_cast<uint32_t>(lits.size()));
+    arena_.push_back(static_cast<uint32_t>(lits.size()) |
+                     (learnt ? kLearntFlag : 0));
     for (Lit l : lits)
         arena_.push_back(l.code());
-    if (learnt)
+    if (learnt) {
+        arena_.push_back(0);
+        SetClauseActivity(cref, 0.0f);
         stats_.Bump("sat.learnt_clauses");
+    }
     return cref;
+}
+
+float
+SatSolver::ClauseActivity(ClauseRef cref) const
+{
+    float activity;
+    std::memcpy(&activity, &arena_[cref + 1 + ClauseSize(cref)],
+                sizeof(activity));
+    return activity;
+}
+
+void
+SatSolver::SetClauseActivity(ClauseRef cref, float activity)
+{
+    std::memcpy(&arena_[cref + 1 + ClauseSize(cref)], &activity,
+                sizeof(activity));
+}
+
+void
+SatSolver::BumpClause(ClauseRef cref)
+{
+    const float bumped =
+        ClauseActivity(cref) + static_cast<float>(cla_inc_);
+    SetClauseActivity(cref, bumped);
+    if (bumped > 1e20f) {
+        for (ClauseRef c : learnts_)
+            SetClauseActivity(c, ClauseActivity(c) * 1e-20f);
+        cla_inc_ *= 1e-20;
+    }
 }
 
 void
@@ -186,6 +285,8 @@ SatSolver::BumpVar(uint32_t var)
     activity_[var] += var_inc_;
     if (activity_[var] > 1e100)
         RescaleActivities();
+    else if (heap_pos_[var] >= 0)
+        HeapSiftUp(static_cast<size_t>(heap_pos_[var]));
 }
 
 void
@@ -194,6 +295,10 @@ SatSolver::RescaleActivities()
     for (double &a : activity_)
         a *= 1e-100;
     var_inc_ *= 1e-100;
+    // Tiny activities may flush to equal values, which changes the
+    // index tie-break order: re-heapify to restore the invariant.
+    for (size_t i = heap_.size(); i > 0; --i)
+        HeapSiftDown(i - 1);
 }
 
 void
@@ -211,6 +316,8 @@ SatSolver::Analyze(ClauseRef conflict, std::vector<Lit> *out_learnt,
     ClauseRef c = conflict;
     do {
         ACHILLES_CHECK(c != kNoClause, "analyze hit a decision unexpectedly");
+        if (ClauseLearnt(c))
+            BumpClause(c);
         const uint32_t size = ClauseSize(c);
         for (uint32_t j = p_valid ? 1 : 0; j < size; ++j) {
             const Lit q = ClauseLit(c, j);
@@ -264,6 +371,7 @@ SatSolver::BacktrackTo(uint32_t target_level)
         saved_phase_[l.var()] = l.negated() ? 0 : 1;
         assigns_[l.var()] = LBool::kUndef;
         reason_[l.var()] = kNoClause;
+        HeapInsert(l.var());
     }
     trail_.resize(bound);
     trail_lim_.resize(target_level);
@@ -273,22 +381,89 @@ SatSolver::BacktrackTo(uint32_t target_level)
 Lit
 SatSolver::PickBranchLit()
 {
-    // Linear activity scan. Problem sizes in this reproduction (tens of
-    // thousands of gate variables) keep this acceptable and it avoids
-    // heap-maintenance subtleties.
-    double best = -1.0;
-    uint32_t best_var = 0;
-    bool found = false;
-    for (uint32_t v = 0; v < NumVars(); ++v) {
-        if (assigns_[v] == LBool::kUndef && activity_[v] > best) {
-            best = activity_[v];
-            best_var = v;
-            found = true;
-        }
+    // Pop the activity order-heap until an unassigned variable surfaces.
+    // Every unassigned variable is in the heap (BacktrackTo re-inserts
+    // what it unassigns), so an empty heap means a full assignment.
+    while (!heap_.empty()) {
+        const uint32_t v = HeapPop();
+        if (assigns_[v] == LBool::kUndef)
+            return Lit(v, saved_phase_[v] == 0);
     }
-    if (!found)
-        return Lit::FromCode(0xffffffffu);
-    return Lit(best_var, saved_phase_[best_var] == 0);
+    return Lit::FromCode(0xffffffffu);
+}
+
+void
+SatSolver::ReduceDB()
+{
+    ACHILLES_CHECK(DecisionLevel() == 0, "ReduceDB off the root level");
+    stats_.Bump("sat.reduce_dbs");
+
+    // Binary learnts are cheap and valuable; locked clauses (the current
+    // reason for a root-level assignment) must survive. Everything else
+    // competes on activity, lowest-activity half evicted.
+    std::vector<ClauseRef> keep, candidates;
+    keep.reserve(learnts_.size());
+    candidates.reserve(learnts_.size());
+    for (ClauseRef c : learnts_) {
+        const Lit first = ClauseLit(c, 0);
+        const bool locked = assigns_[first.var()] != LBool::kUndef &&
+                            reason_[first.var()] == c;
+        if (locked || ClauseSize(c) <= 2)
+            keep.push_back(c);
+        else
+            candidates.push_back(c);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [this](ClauseRef a, ClauseRef b) {
+                  const float aa = ClauseActivity(a);
+                  const float ab = ClauseActivity(b);
+                  return aa != ab ? aa > ab : a < b;
+              });
+    const size_t survivors = candidates.size() / 2;
+    stats_.Bump("sat.learnts_removed",
+                static_cast<int64_t>(candidates.size() - survivors));
+    candidates.resize(survivors);
+    keep.insert(keep.end(), candidates.begin(), candidates.end());
+    learnts_ = std::move(keep);
+    GarbageCollect();
+}
+
+void
+SatSolver::GarbageCollect()
+{
+    // Rebuild the arena with only the surviving clauses, then re-derive
+    // every ClauseRef-bearing structure (watches, reasons). Watched
+    // literals always sit at positions 0/1, so re-attaching preserves
+    // the watch invariant.
+    std::vector<uint32_t> new_arena;
+    new_arena.reserve(arena_.size());
+    std::unordered_map<ClauseRef, ClauseRef> relocated;
+    relocated.reserve(clauses_.size() + learnts_.size());
+    auto move_clause = [&](ClauseRef &cref) {
+        const ClauseRef moved = static_cast<ClauseRef>(new_arena.size());
+        const uint32_t words =
+            1 + ClauseSize(cref) + (ClauseLearnt(cref) ? 1 : 0);
+        for (uint32_t i = 0; i < words; ++i)
+            new_arena.push_back(arena_[cref + i]);
+        relocated.emplace(cref, moved);
+        cref = moved;
+    };
+    for (ClauseRef &c : clauses_)
+        move_clause(c);
+    for (ClauseRef &c : learnts_)
+        move_clause(c);
+    arena_ = std::move(new_arena);
+
+    for (uint32_t v = 0; v < NumVars(); ++v) {
+        if (assigns_[v] != LBool::kUndef && reason_[v] != kNoClause)
+            reason_[v] = relocated.at(reason_[v]);
+    }
+    for (std::vector<Watcher> &ws : watches_)
+        ws.clear();
+    for (ClauseRef c : clauses_)
+        AttachClause(c);
+    for (ClauseRef c : learnts_)
+        AttachClause(c);
 }
 
 SatStatus
@@ -296,8 +471,39 @@ SatSolver::Solve(const std::vector<Lit> &assumptions, int64_t max_conflicts)
 {
     if (!ok_)
         return SatStatus::kUnsat;
-    BacktrackTo(0);
     stats_.Bump("sat.solve_calls");
+
+    // Solution reuse: a SAT call leaves its full assignment standing
+    // (see the kSat exit below), and nothing invalidates it -- AddClause
+    // either keeps it a model or flips ok_, NewVar un-fills the trail.
+    // If it already satisfies the new assumptions, the answer is kSat in
+    // O(|assumptions|), which is what lets a stream of closely related
+    // queries skip the O(vars) re-assignment entirely.
+    if (trail_.size() == NumVars()) {
+        bool satisfied = true;
+        for (Lit p : assumptions) {
+            ACHILLES_CHECK(p.var() < NumVars());
+            if (LitValue(p) != LBool::kTrue) {
+                satisfied = false;
+                break;
+            }
+        }
+        if (satisfied) {
+            model_ = assigns_;
+            stats_.Bump("sat.solution_reuses");
+            return SatStatus::kSat;
+        }
+    }
+
+    BacktrackTo(0);
+    if (learnt_cap_ <= 0) {
+        learnt_cap_ = std::max<int64_t>(
+            4000, static_cast<int64_t>(clauses_.size()) / 3);
+    }
+    if (static_cast<int64_t>(learnts_.size()) >= learnt_cap_) {
+        ReduceDB();
+        learnt_cap_ += learnt_cap_ / 10;
+    }
 
     int64_t conflicts = 0;
     int64_t restart_budget = 100;
@@ -337,9 +543,11 @@ SatSolver::Solve(const std::vector<Lit> &assumptions, int64_t max_conflicts)
                 const ClauseRef cref = AllocClause(learnt, /*learnt=*/true);
                 learnts_.push_back(cref);
                 AttachClause(cref);
+                BumpClause(cref);
                 Enqueue(learnt[0], cref);
             }
             DecayVarActivity();
+            DecayClauseActivity();
             if (max_conflicts >= 0 && conflicts >= max_conflicts) {
                 BacktrackTo(0);
                 stats_.Bump("sat.budget_exhausted");
@@ -351,6 +559,10 @@ SatSolver::Solve(const std::vector<Lit> &assumptions, int64_t max_conflicts)
                     static_cast<int64_t>(restart_budget * 1.5);
                 stats_.Bump("sat.restarts");
                 BacktrackTo(0);
+                if (static_cast<int64_t>(learnts_.size()) >= learnt_cap_) {
+                    ReduceDB();
+                    learnt_cap_ += learnt_cap_ / 10;
+                }
             }
             continue;
         }
@@ -374,9 +586,10 @@ SatSolver::Solve(const std::vector<Lit> &assumptions, int64_t max_conflicts)
 
         const Lit next = PickBranchLit();
         if (next.code() == 0xffffffffu) {
-            // All variables assigned: model found.
+            // All variables assigned: model found. Leave the assignment
+            // standing for cross-query solution reuse (the next Solve
+            // backtracks before searching anyway).
             model_ = assigns_;
-            BacktrackTo(0);
             return SatStatus::kSat;
         }
         stats_.Bump("sat.decisions");

@@ -54,7 +54,10 @@ enum class SatStatus { kSat, kUnsat, kUnknown };
  *
  * Usage: NewVar() variables, AddClause() clauses, Solve(). After kSat,
  * Value(var) gives the model. The solver may be re-Solved after adding
- * more clauses (clauses persist; learnt clauses are kept).
+ * more clauses and under different assumptions (clauses persist; learnt
+ * clauses are retained across calls up to a MiniSat-style ReduceDB cap,
+ * which is what makes the incremental assumption-based Solver backend
+ * pay off across closely related queries).
  */
 class SatSolver
 {
@@ -89,22 +92,45 @@ class SatSolver
         return model_[var] == LBool::kTrue;
     }
 
+    /**
+     * Set the saved decision phase of a variable (the polarity tried
+     * first). The bit-blaster seeds activation literals with phase true
+     * so models satisfy as many retractable assertions as possible,
+     * which is what makes cross-query solution reuse hit; conflict
+     * analysis re-saves phases and adapts when assertions clash.
+     */
+    void
+    SetPhase(uint32_t var, bool value)
+    {
+        ACHILLES_CHECK(var < NumVars());
+        saved_phase_[var] = value ? 1 : 0;
+    }
+
+    /**
+     * Learnt-clause retention cap before ReduceDB evicts the
+     * lowest-activity half. 0 (the default) auto-sizes from the problem
+     * clause count on the next Solve; tests pin small caps to exercise
+     * the eviction path.
+     */
+    void SetLearntCap(int64_t cap) { learnt_cap_ = cap; }
+    size_t NumLearnts() const { return learnts_.size(); }
+
     /** Solver statistics (conflicts, decisions, propagations...). */
     const StatsRegistry &stats() const { return stats_; }
 
   private:
     // Clauses are stored in one arena; a clause is referenced by its
-    // offset. Layout: [size][lit0][lit1]...[activity-free].
+    // offset. Layout: [size|learnt-flag][lit0][lit1]...; learnt clauses
+    // carry one trailing word holding their float activity.
     using ClauseRef = uint32_t;
     static constexpr ClauseRef kNoClause = 0xffffffffu;
+    static constexpr uint32_t kLearntFlag = 0x80000000u;
 
     struct Watcher
     {
         ClauseRef cref;
         Lit blocker;
     };
-
-    struct VarOrderLt;
 
     LBool LitValue(Lit l) const;
     void NewDecisionLevel() { trail_lim_.push_back(trail_.size()); }
@@ -125,13 +151,42 @@ class SatSolver
     void DecayVarActivity() { var_inc_ /= kVarDecay; }
     void RescaleActivities();
 
-    uint32_t ClauseSize(ClauseRef cref) const { return arena_[cref]; }
+    // Activity order-heap (max-heap on activity, var index tie-break):
+    // PickBranchLit pops candidates in O(log V) instead of scanning all
+    // variables per decision.
+    bool HeapBefore(uint32_t a, uint32_t b) const
+    {
+        return activity_[a] > activity_[b] ||
+               (activity_[a] == activity_[b] && a < b);
+    }
+    void HeapSiftUp(size_t i);
+    void HeapSiftDown(size_t i);
+    void HeapInsert(uint32_t var);
+    uint32_t HeapPop();
+
+    // Learnt-clause bookkeeping.
+    float ClauseActivity(ClauseRef cref) const;
+    void SetClauseActivity(ClauseRef cref, float activity);
+    void BumpClause(ClauseRef cref);
+    void DecayClauseActivity() { cla_inc_ /= kClaDecay; }
+    void ReduceDB();
+    void GarbageCollect();
+
+    uint32_t ClauseSize(ClauseRef cref) const
+    {
+        return arena_[cref] & ~kLearntFlag;
+    }
+    bool ClauseLearnt(ClauseRef cref) const
+    {
+        return (arena_[cref] & kLearntFlag) != 0;
+    }
     Lit ClauseLit(ClauseRef cref, uint32_t i) const
     {
         return Lit::FromCode(arena_[cref + 1 + i]);
     }
 
     static constexpr double kVarDecay = 0.95;
+    static constexpr double kClaDecay = 0.999;
 
     std::vector<uint32_t> arena_;
     std::vector<ClauseRef> clauses_;
@@ -145,8 +200,12 @@ class SatSolver
     std::vector<ClauseRef> reason_;
     std::vector<Lit> trail_;
     std::vector<size_t> trail_lim_;
+    std::vector<uint32_t> heap_;     // var order-heap
+    std::vector<int32_t> heap_pos_;  // var -> heap index, -1 if absent
     size_t qhead_ = 0;
     double var_inc_ = 1.0;
+    double cla_inc_ = 1.0;
+    int64_t learnt_cap_ = 0;  // 0 = auto-size on next Solve
     bool ok_ = true;
 
     // Conflict analysis scratch.

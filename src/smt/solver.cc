@@ -22,17 +22,34 @@ CheckResultName(CheckResult r)
     ACHILLES_UNREACHABLE("bad CheckResult");
 }
 
+/**
+ * The persistent solving stack behind model-less queries: one SAT
+ * instance accumulating the CNF of every expression node ever asserted,
+ * one activation literal per assertion, learned clauses retained across
+ * queries (ReduceDB-capped inside SatSolver).
+ */
+struct Solver::IncrementalBackend
+{
+    SatSolver sat;
+    BitBlaster blaster;
+
+    IncrementalBackend() : blaster(&sat) {}
+};
+
 Solver::Solver(ExprContext *ctx, SolverConfig config)
     : ctx_(ctx), config_(config)
 {
 }
 
-uint64_t
-Solver::QueryKey(const std::vector<ExprRef> &assertions) const
+Solver::~Solver() = default;
+
+size_t
+Solver::AssertionsHash::operator()(
+    const std::vector<ExprRef> &assertions) const
 {
-    // Order-insensitive hash over node pointers: interning makes pointer
-    // identity equal structural identity, and commutativity of
-    // conjunction makes order irrelevant.
+    // Order-insensitive accumulation over node pointers (interning makes
+    // pointer identity equal structural identity). Collisions are
+    // harmless: the map compares the full vectors on lookup.
     uint64_t key = 0x51ed270b9f9f2b4dull;
     for (ExprRef e : assertions) {
         uint64_t h = reinterpret_cast<uint64_t>(e);
@@ -40,7 +57,7 @@ Solver::QueryKey(const std::vector<ExprRef> &assertions) const
         h ^= h >> 29;
         key += h;
     }
-    return key;
+    return static_cast<size_t>(key);
 }
 
 CheckResult
@@ -54,20 +71,62 @@ Solver::CheckSatExpr(ExprRef e, Model *model)
 CheckResult
 Solver::CheckSat(const std::vector<ExprRef> &assertions, Model *model)
 {
+    return CheckSatSets(assertions, nullptr, model);
+}
+
+CheckResult
+Solver::CheckSatAssuming(const std::vector<ExprRef> &base,
+                         const std::vector<ExprRef> &extras, Model *model)
+{
+    return CheckSatSets(base, &extras, model);
+}
+
+bool
+Solver::Canonicalize(const std::vector<ExprRef> &base,
+                     const std::vector<ExprRef> *extras,
+                     std::vector<ExprRef> *live) const
+{
+    live->reserve(base.size() + (extras ? extras->size() : 0));
+    for (size_t part = 0; part < 2; ++part) {
+        const std::vector<ExprRef> *assertions =
+            part == 0 ? &base : extras;
+        if (assertions == nullptr)
+            continue;
+        for (ExprRef e : *assertions) {
+            ACHILLES_CHECK(e->width() == 1, "non-boolean assertion");
+            if (e->IsTrue())
+                continue;
+            if (e->IsFalse())
+                return false;
+            live->push_back(e);
+        }
+    }
+    // Deduplicate and order structurally. The order fixes the CNF
+    // variable numbering of the fresh-instance path, so it must not
+    // depend on pointer values: structural order makes the SAT instance
+    // -- and therefore the model returned for satisfiable queries --
+    // identical across runs and across the id-aligned worker contexts
+    // of the parallel explorer. The incremental backend reuses it as a
+    // deterministic assumption order.
+    std::sort(live->begin(), live->end(), [](ExprRef a, ExprRef b) {
+        return StructuralCompare(a, b) < 0;
+    });
+    live->erase(std::unique(live->begin(), live->end()), live->end());
+    return true;
+}
+
+CheckResult
+Solver::CheckSatSets(const std::vector<ExprRef> &base,
+                     const std::vector<ExprRef> *extras, Model *model)
+{
     stats_.Bump("solver.queries");
 
-    // Trivial cases first.
     std::vector<ExprRef> live;
-    live.reserve(assertions.size());
-    for (ExprRef e : assertions) {
-        ACHILLES_CHECK(e->width() == 1, "non-boolean assertion");
-        if (e->IsTrue())
-            continue;
-        if (e->IsFalse()) {
-            stats_.Bump("solver.trivial_unsat");
-            return CheckResult::kUnsat;
-        }
-        live.push_back(e);
+    if (!Canonicalize(base, extras, &live)) {
+        stats_.Bump("solver.trivial_unsat");
+        if (model)
+            *model = Model();
+        return CheckResult::kUnsat;
     }
     if (live.empty()) {
         stats_.Bump("solver.trivial_sat");
@@ -76,43 +135,79 @@ Solver::CheckSat(const std::vector<ExprRef> &assertions, Model *model)
         return CheckResult::kSat;
     }
 
-    // Deduplicate and order structurally. The order fixes the CNF
-    // variable numbering, so it must not depend on pointer values:
-    // structural order makes the SAT instance -- and therefore the model
-    // returned for satisfiable queries -- identical across runs and
-    // across the id-aligned worker contexts of the parallel explorer.
-    std::sort(live.begin(), live.end(), [](ExprRef a, ExprRef b) {
-        return StructuralCompare(a, b) < 0;
-    });
-    live.erase(std::unique(live.begin(), live.end()), live.end());
-
-    uint64_t key = 0;
+    CacheEntry *upgrade_entry = nullptr;
     if (config_.enable_cache) {
-        key = QueryKey(live);
-        auto it = cache_.find(key);
+        auto it = cache_.find(live);
         if (it != cache_.end()) {
-            stats_.Bump("solver.cache_hits");
-            if (model)
-                *model = it->second.model;
-            return it->second.result;
+            CacheEntry &entry = it->second;
+            if (model == nullptr || entry.has_model) {
+                stats_.Bump("solver.cache_hits");
+                if (model)
+                    *model = entry.model;
+                return entry.result;
+            }
+            // kSat cached off the model-less incremental path but the
+            // caller wants a witness: fall through to the fresh solve
+            // and fill the entry in place.
+            stats_.Bump("solver.cache_model_upgrades");
+            upgrade_entry = &entry;
         }
     }
 
-    CheckResult result = CheckResult::kUnknown;
-    Model out_model;
-
-    if (config_.use_interval_check) {
+    if (config_.use_interval_check && upgrade_entry == nullptr) {
         IntervalChecker checker(ctx_);
         if (checker.DefinitelyUnsat(live)) {
             stats_.Bump("solver.interval_unsat");
-            result = CheckResult::kUnsat;
-            if (config_.enable_cache)
-                cache_.emplace(key, CacheEntry{result, Model()});
-            return result;
+            if (config_.enable_cache) {
+                cache_.emplace(live, CacheEntry{CheckResult::kUnsat,
+                                                /*has_model=*/true,
+                                                Model()});
+            }
+            if (model)
+                *model = Model();
+            return CheckResult::kUnsat;
         }
     }
 
-    // Bit-blast and solve.
+    CheckResult result;
+    Model out_model;
+    // The incremental path serves model-less, unlimited-budget queries
+    // only. Model-producing queries need the fresh instance for
+    // deterministic witness bytes; budgeted queries need it because a
+    // conflict budget spent against history-dependent learned clauses
+    // would make the kUnsat/kUnknown boundary depend on the query
+    // stream, not the query.
+    if (model == nullptr && config_.enable_incremental &&
+        config_.max_conflicts < 0) {
+        result = SolveIncremental(live);
+    } else {
+        result = SolveFresh(live, &out_model);
+    }
+
+    if (config_.enable_cache && result != CheckResult::kUnknown) {
+        // has_model: kSat entries carry a model only when one was
+        // computed; kUnsat/kUnknown answers have the empty model by
+        // definition, so those entries can always serve model callers.
+        const bool has_model =
+            result != CheckResult::kSat || model != nullptr;
+        if (upgrade_entry != nullptr) {
+            if (result == CheckResult::kSat) {
+                upgrade_entry->model = out_model;
+                upgrade_entry->has_model = true;
+            }
+        } else {
+            cache_.emplace(live,
+                           CacheEntry{result, has_model, out_model});
+        }
+    }
+    if (model)
+        *model = out_model;
+    return result;
+}
+
+CheckResult
+Solver::SolveFresh(const std::vector<ExprRef> &live, Model *out_model)
+{
     stats_.Bump("solver.sat_calls");
     SatSolver sat;
     BitBlaster blaster(&sat);
@@ -124,34 +219,61 @@ Solver::CheckSat(const std::vector<ExprRef> &assertions, Model *model)
 
     switch (status) {
       case SatStatus::kUnsat:
-        result = CheckResult::kUnsat;
-        break;
+        return CheckResult::kUnsat;
       case SatStatus::kUnknown:
-        result = CheckResult::kUnknown;
-        break;
+        return CheckResult::kUnknown;
       case SatStatus::kSat: {
-        result = CheckResult::kSat;
         std::unordered_set<uint32_t> vars;
         for (ExprRef e : live)
             ctx_->CollectVars(e, &vars);
         for (uint32_t id : vars)
-            out_model.Set(id, blaster.VarValueFromModel(id));
+            out_model->Set(id, blaster.VarValueFromModel(id));
         if (config_.validate_models) {
             for (ExprRef e : live) {
-                ACHILLES_CHECK(EvaluateBool(e, out_model),
+                ACHILLES_CHECK(EvaluateBool(e, *out_model),
                                "model validation failed for: ",
                                ctx_->ToString(e));
             }
         }
-        break;
+        return CheckResult::kSat;
       }
     }
+    ACHILLES_UNREACHABLE("bad SatStatus");
+}
 
-    if (config_.enable_cache && result != CheckResult::kUnknown)
-        cache_.emplace(key, CacheEntry{result, out_model});
-    if (model)
-        *model = out_model;
-    return result;
+CheckResult
+Solver::SolveIncremental(const std::vector<ExprRef> &live)
+{
+    if (inc_ && inc_->sat.NumVars() > config_.incremental_max_vars) {
+        stats_.Bump("solver.incremental_resets");
+        inc_.reset();
+        inc_conflicts_seen_ = 0;
+        inc_decisions_seen_ = 0;
+    }
+    if (!inc_)
+        inc_ = std::make_unique<IncrementalBackend>();
+    stats_.Bump("solver.incremental_sat_calls");
+
+    std::vector<Lit> assumptions;
+    assumptions.reserve(live.size());
+    for (ExprRef e : live)
+        assumptions.push_back(inc_->blaster.ActivationLit(e));
+    const SatStatus status =
+        inc_->sat.Solve(assumptions, config_.max_conflicts);
+
+    const int64_t conflicts = inc_->sat.stats().Get("sat.conflicts");
+    const int64_t decisions = inc_->sat.stats().Get("sat.decisions");
+    stats_.Bump("solver.sat_conflicts", conflicts - inc_conflicts_seen_);
+    stats_.Bump("solver.sat_decisions", decisions - inc_decisions_seen_);
+    inc_conflicts_seen_ = conflicts;
+    inc_decisions_seen_ = decisions;
+
+    switch (status) {
+      case SatStatus::kUnsat: return CheckResult::kUnsat;
+      case SatStatus::kUnknown: return CheckResult::kUnknown;
+      case SatStatus::kSat: return CheckResult::kSat;
+    }
+    ACHILLES_UNREACHABLE("bad SatStatus");
 }
 
 }  // namespace smt

@@ -10,6 +10,7 @@
 #define ACHILLES_SMT_SOLVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -37,34 +38,77 @@ struct SolverConfig
     bool validate_models = true;
     /** Memoize query results keyed by the assertion set. */
     bool enable_cache = true;
+    /**
+     * Reuse one persistent SatSolver + BitBlaster across queries: CNF is
+     * memoized per expression node, each assertion is guarded by an
+     * activation literal, queries solve under assumptions, and learned
+     * clauses carry over (capped by ReduceDB). Only model-less,
+     * unlimited-budget queries take this path: model-producing queries
+     * solve a fresh instance whose CNF numbering (and therefore model)
+     * is a pure function of the structurally sorted query, and
+     * budget-limited queries (max_conflicts >= 0) do too, so that the
+     * kUnsat/kUnknown boundary never depends on the learned clauses of
+     * earlier queries. Together these keep results and witness bytes
+     * bitwise deterministic across runs, worker counts and query
+     * history.
+     */
+    bool enable_incremental = true;
+    /**
+     * Reset threshold for the incremental backend. A SAT verdict must
+     * extend to a full assignment over every variable ever blasted into
+     * the persistent instance, so per-query cost grows with accumulated
+     * CNF; once the instance exceeds this many SAT variables it is
+     * dropped and rebuilt from the next query's expressions. Dense
+     * streams of related queries (the Trojan/match loops) stay far
+     * below the cap between resets; heterogeneous pipeline phases reset
+     * a handful of times instead of dragging dead CNF along.
+     */
+    uint32_t incremental_max_vars = 65536;
 };
 
 /**
  * The decision procedure facade.
  *
- * Stateless across queries apart from the cache; each CheckSat builds a
- * fresh SAT instance (the Achilles search generates many small related
- * queries rather than one growing one, so the cache is the effective
- * incrementality mechanism).
+ * Holds two kinds of state across queries: the memo cache, and the
+ * incremental backend (a persistent SAT instance reused for all
+ * model-less queries; see SolverConfig::enable_incremental). The
+ * Achilles search generates thousands of small queries sharing
+ * path-constraint prefixes, so reusing CNF and learned clauses across
+ * the stream is the dominant speed lever.
  *
- * CheckSat is virtual so decorators can interpose (the parallel
- * exploration subsystem wraps each worker's solver with a shared
- * cross-worker query cache, see exec/query_cache.h). A Solver instance
- * is not thread-safe; parallel exploration gives each worker its own.
+ * CheckSat/CheckSatAssuming are virtual so decorators can interpose
+ * (the parallel exploration subsystem wraps each worker's solver with a
+ * shared cross-worker query cache, see exec/query_cache.h). A Solver
+ * instance is not thread-safe; parallel exploration gives each worker
+ * its own.
  */
 class Solver
 {
   public:
     explicit Solver(ExprContext *ctx, SolverConfig config = {});
-    virtual ~Solver() = default;
+    virtual ~Solver();
 
     /**
      * Check satisfiability of the conjunction of `assertions`.
      * On kSat and non-null `model`, fills `model` with values for every
-     * variable occurring in the assertions.
+     * variable occurring in the assertions; on every other outcome a
+     * non-null `model` is cleared (callers may reuse one Model object
+     * across queries without reading stale values).
      */
     virtual CheckResult CheckSat(const std::vector<ExprRef> &assertions,
                                  Model *model = nullptr);
+
+    /**
+     * Check satisfiability of base ∧ extras. Semantically identical to
+     * CheckSat on the concatenation; the split spells out the
+     * shared-prefix query streams of the server explorer (one pathS
+     * asserted per state, many ¬pathC_i iterated against it), which the
+     * incremental backend turns into assumption flips over memoized
+     * CNF.
+     */
+    virtual CheckResult CheckSatAssuming(const std::vector<ExprRef> &base,
+                                         const std::vector<ExprRef> &extras,
+                                         Model *model = nullptr);
 
     /** Convenience overload for a single (possibly And-tree) assertion. */
     CheckResult CheckSatExpr(ExprRef e, Model *model = nullptr);
@@ -81,18 +125,53 @@ class Solver
     const StatsRegistry &stats() const { return stats_; }
     StatsRegistry *mutable_stats() { return &stats_; }
 
+  protected:
+    /**
+     * Shared workhorse for subclasses: canonicalize, consult the memo
+     * cache, dispatch to the interval check and the incremental or
+     * fresh-instance backend. `extras` may be null.
+     */
+    CheckResult CheckSatSets(const std::vector<ExprRef> &base,
+                             const std::vector<ExprRef> *extras,
+                             Model *model);
+
   private:
     struct CacheEntry
     {
         CheckResult result;
+        /** False for kSat entries produced by the model-less incremental
+         *  path; such hits cannot serve model-requesting callers and are
+         *  upgraded in place by a fresh-instance solve. */
+        bool has_model;
         Model model;
     };
+    struct AssertionsHash
+    {
+        size_t operator()(const std::vector<ExprRef> &assertions) const;
+    };
+    struct IncrementalBackend;
 
-    uint64_t QueryKey(const std::vector<ExprRef> &assertions) const;
+    /** Canonical form: live (non-trivial) assertions, structurally
+     *  sorted and deduplicated. Returns false on a trivially-false
+     *  assertion. */
+    bool Canonicalize(const std::vector<ExprRef> &base,
+                      const std::vector<ExprRef> *extras,
+                      std::vector<ExprRef> *live) const;
+
+    CheckResult SolveFresh(const std::vector<ExprRef> &live,
+                           Model *out_model);
+    CheckResult SolveIncremental(const std::vector<ExprRef> &live);
 
     ExprContext *ctx_;
     SolverConfig config_;
-    std::unordered_map<uint64_t, CacheEntry> cache_;
+    // Keyed by the canonical assertion vector itself (hashed by the old
+    // 64-bit additive key): a hash collision degrades to a miss instead
+    // of silently returning another query's result/model.
+    std::unordered_map<std::vector<ExprRef>, CacheEntry, AssertionsHash>
+        cache_;
+    std::unique_ptr<IncrementalBackend> inc_;
+    int64_t inc_conflicts_seen_ = 0;
+    int64_t inc_decisions_seen_ = 0;
     StatsRegistry stats_;
 };
 

@@ -133,11 +133,11 @@ Engine::EvalExpr(State &state, const DExprRef &e)
 bool
 Engine::Feasible(const State &state, smt::ExprRef extra)
 {
-    std::vector<smt::ExprRef> q = state.constraints();
-    q.push_back(extra);
     // kUnknown is treated as feasible: exploration must over-approximate
-    // reachability to stay complete.
-    return solver_->CheckSat(q) != smt::CheckResult::kUnsat;
+    // reachability to stay complete. The base/extras split lets the
+    // incremental solver backend reuse the already-asserted path prefix.
+    return solver_->CheckSatAssuming(state.constraints(), {extra}) !=
+           smt::CheckResult::kUnsat;
 }
 
 void

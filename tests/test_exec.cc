@@ -107,13 +107,17 @@ TEST(QueryCacheTest, KeyIsOrderAndDuplicateInsensitive)
     ExprRef b = ctx.MakeEq(y, ctx.MakeConst(8, 9));
 
     QueryCacheKey k1, k2, k3, k4;
-    ASSERT_TRUE(QueryCache::ComputeKey({a, b}, 2, &k1));
-    ASSERT_TRUE(QueryCache::ComputeKey({b, a}, 2, &k2));
-    ASSERT_TRUE(QueryCache::ComputeKey({a, b, a}, 2, &k3));
-    ASSERT_TRUE(QueryCache::ComputeKey({a}, 2, &k4));
+    QueryFingerprints f1, f2, f3, f4;
+    ASSERT_TRUE(QueryCache::ComputeKey({a, b}, 2, &k1, &f1));
+    ASSERT_TRUE(QueryCache::ComputeKey({b, a}, 2, &k2, &f2));
+    ASSERT_TRUE(QueryCache::ComputeKey({a, b, a}, 2, &k3, &f3));
+    ASSERT_TRUE(QueryCache::ComputeKey({a}, 2, &k4, &f4));
     EXPECT_EQ(k1, k2);
     EXPECT_EQ(k1, k3);
     EXPECT_FALSE(k1 == k4);
+    EXPECT_EQ(f1, f2);
+    EXPECT_EQ(f1, f3);
+    EXPECT_NE(f1, f4);
 }
 
 TEST(QueryCacheTest, KeyMatchesAcrossIdAlignedContexts)
@@ -129,9 +133,11 @@ TEST(QueryCacheTest, KeyMatchesAcrossIdAlignedContexts)
     ExprRef rq = bridge.ToRemote(q);
 
     QueryCacheKey hk, rk;
-    ASSERT_TRUE(QueryCache::ComputeKey({q}, home.NumVars(), &hk));
-    ASSERT_TRUE(QueryCache::ComputeKey({rq}, home.NumVars(), &rk));
+    QueryFingerprints hf, rf;
+    ASSERT_TRUE(QueryCache::ComputeKey({q}, home.NumVars(), &hk, &hf));
+    ASSERT_TRUE(QueryCache::ComputeKey({rq}, home.NumVars(), &rk, &rf));
     EXPECT_EQ(hk, rk);
+    EXPECT_EQ(hf, rf);
 }
 
 TEST(QueryCacheTest, WorkerLocalVariablesAreNotCacheable)
@@ -141,28 +147,97 @@ TEST(QueryCacheTest, WorkerLocalVariablesAreNotCacheable)
     ExprRef local = ctx.FreshVar("l", 8);
     ExprRef q = ctx.MakeEq(shared, local);
     QueryCacheKey key;
+    QueryFingerprints fp;
     // Limit 1: only var id 0 is globally meaningful.
-    EXPECT_FALSE(QueryCache::ComputeKey({q}, 1, &key));
-    EXPECT_TRUE(QueryCache::ComputeKey({q}, 2, &key));
+    EXPECT_FALSE(QueryCache::ComputeKey({q}, 1, &key, &fp));
+    EXPECT_TRUE(QueryCache::ComputeKey({q}, 2, &key, &fp));
 }
 
 TEST(QueryCacheTest, LookupInsertRoundTripWithModel)
 {
     QueryCache cache;
     QueryCacheKey key{1, 2};
+    QueryFingerprints fp{{3, 4}};
     Model model;
     model.Set(0, 42);
 
     CheckResult result;
-    EXPECT_FALSE(cache.Lookup(key, &result, nullptr));
-    cache.Insert(key, CheckResult::kSat, model);
+    EXPECT_FALSE(cache.Lookup(key, fp, /*want_model=*/true, &result,
+                              nullptr));
+    cache.Insert(key, fp, CheckResult::kSat, /*has_model=*/true, model);
     Model out;
-    ASSERT_TRUE(cache.Lookup(key, &result, &out));
+    ASSERT_TRUE(cache.Lookup(key, fp, /*want_model=*/true, &result, &out));
     EXPECT_EQ(result, CheckResult::kSat);
     EXPECT_EQ(out.Get(0), 42u);
     EXPECT_EQ(cache.hits(), 1);
     EXPECT_EQ(cache.misses(), 1);
     EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(QueryCacheTest, KeyCollisionWithDifferentFingerprintsMisses)
+{
+    // Regression: a bare 128-bit key hit used to be trusted outright, so
+    // an (engineered or accidental) key collision silently returned
+    // another query's result and model. The per-assertion fingerprints
+    // must turn that into a miss, and Insert must not clobber the
+    // resident entry.
+    QueryCache cache;
+    QueryCacheKey key{7, 9};
+    QueryFingerprints fp_a{{1, 2}}, fp_b{{3, 4}};
+    Model model_a;
+    model_a.Set(0, 1);
+
+    cache.Insert(key, fp_a, CheckResult::kSat, /*has_model=*/true,
+                 model_a);
+    CheckResult result;
+    Model out;
+    EXPECT_FALSE(cache.Lookup(key, fp_b, /*want_model=*/false, &result,
+                              &out));
+    EXPECT_GE(cache.collisions(), 1);
+
+    cache.Insert(key, fp_b, CheckResult::kUnsat, /*has_model=*/true,
+                 Model());
+    ASSERT_TRUE(cache.Lookup(key, fp_a, /*want_model=*/true, &result,
+                             &out));
+    EXPECT_EQ(result, CheckResult::kSat);
+    EXPECT_EQ(out.Get(0), 1u);
+}
+
+TEST(QueryCacheTest, ModelLessEntryUpgradesInPlace)
+{
+    // The incremental solving path publishes result-only kSat entries; a
+    // model-requesting probe must miss, and the follow-up Insert with a
+    // model must upgrade the entry for later model hits.
+    QueryCache cache;
+    QueryCacheKey key{5, 6};
+    QueryFingerprints fp{{8, 9}};
+
+    cache.Insert(key, fp, CheckResult::kSat, /*has_model=*/false,
+                 Model());
+    CheckResult result;
+    ASSERT_TRUE(cache.Lookup(key, fp, /*want_model=*/false, &result,
+                             nullptr));
+    EXPECT_EQ(result, CheckResult::kSat);
+    Model out;
+    EXPECT_FALSE(cache.Lookup(key, fp, /*want_model=*/true, &result,
+                              &out));
+
+    Model model;
+    model.Set(3, 77);
+    cache.Insert(key, fp, CheckResult::kSat, /*has_model=*/true, model);
+    ASSERT_TRUE(cache.Lookup(key, fp, /*want_model=*/true, &result, &out));
+    EXPECT_EQ(out.Get(3), 77u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // kUnsat entries always serve model callers (the empty model).
+    QueryCacheKey ukey{10, 11};
+    QueryFingerprints ufp{{12, 13}};
+    cache.Insert(ukey, ufp, CheckResult::kUnsat, /*has_model=*/false,
+                 Model());
+    ASSERT_TRUE(cache.Lookup(ukey, ufp, /*want_model=*/true, &result,
+                             &out));
+    EXPECT_EQ(result, CheckResult::kUnsat);
+    EXPECT_TRUE(out.values().empty());
 }
 
 TEST(QueryCacheTest, CachedSolverSharesResultsAcrossContexts)
