@@ -7,10 +7,18 @@
 // guarantee: the Trojan witness sets (accept labels, definitions,
 // concrete bytes) must be bitwise-identical at every worker count.
 //
-// Usage: bench_parallel [--clients N] [--json <path>]
+// Usage: bench_parallel [--clients N] [--workers 1,2,4,8]
+//                       [--json <path>]
+//
+// Every JSON record set includes one `parallel.swept/workers=N` marker
+// per worker count actually run, so downstream consumers (the CI
+// perf-trend gate) can intersect sweeps instead of comparing a point
+// that one side never measured; records are flushed even when the
+// sweep is truncated or the determinism check fails.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <tuple>
@@ -82,16 +90,37 @@ main(int argc, char **argv)
 {
     bench::ParseBenchArgs(argc, argv);
     size_t num_clients = 8;
+    std::vector<size_t> worker_counts{1, 2, 4, 8};
     for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--clients") == 0)
+        if (std::strcmp(argv[i], "--clients") == 0) {
             num_clients = static_cast<size_t>(std::atoi(argv[i + 1]));
+        } else if (std::strcmp(argv[i], "--workers") == 0) {
+            worker_counts.clear();
+            for (const char *p = argv[i + 1]; *p != '\0';) {
+                char *end = nullptr;
+                const long w = std::strtol(p, &end, 10);
+                if (end == p)
+                    break;
+                if (w > 0)
+                    worker_counts.push_back(static_cast<size_t>(w));
+                p = *end == ',' ? end + 1 : end;
+            }
+        }
     }
+    if (std::find(worker_counts.begin(), worker_counts.end(), 1u) ==
+        worker_counts.end()) {
+        // The sweep's speedup baseline is the serial run; force it in.
+        worker_counts.insert(worker_counts.begin(), 1);
+    }
+    std::sort(worker_counts.begin(), worker_counts.end());
+    worker_counts.erase(
+        std::unique(worker_counts.begin(), worker_counts.end()),
+        worker_counts.end());
 
     bench::Header("Parallel server exploration -- work-stealing scheduler "
                   "sweep (FSP)");
     bench::Note("phase 2 only; 1 worker = the serial in-engine worklist");
 
-    const std::vector<size_t> worker_counts{1, 2, 4, 8};
     std::vector<SweepPoint> points;
     for (size_t w : worker_counts)
         points.push_back(RunOnce(w, num_clients));
@@ -117,6 +146,10 @@ main(int argc, char **argv)
 
         const std::string suffix =
             "/workers=" + std::to_string(p.workers);
+        // Sweep marker first: a consumer must never compare a metric
+        // at a worker count the other record set did not run.
+        bench::JsonRecorder::Instance().Record(
+            "parallel.swept" + suffix, 1.0);
         bench::JsonRecorder::Instance().Record(
             "parallel.server_seconds" + suffix, p.seconds);
         bench::JsonRecorder::Instance().Record(
@@ -140,5 +173,9 @@ main(int argc, char **argv)
     }
     bench::Note("speedup is bounded by the machine's core count; on a "
                 "single-core container all worker counts serialize");
+    // Flush explicitly: the perf-trajectory artifact must exist even
+    // when the determinism gate fails the process (that is exactly the
+    // run someone will want to inspect).
+    bench::JsonRecorder::Instance().Flush();
     return identical ? 0 : 1;
 }

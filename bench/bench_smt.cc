@@ -192,6 +192,11 @@ struct TrojanWorkload
     std::vector<std::vector<ExprRef>> prefixes;
     /** Per-predicate negation disjunctions (¬pathC_i). */
     std::vector<ExprRef> negations;
+    /** Match-shaped probes that conflict with deep prefixes: byte
+     *  pins just outside a prefix range constraint, so the stream
+     *  mixes kUnsat answers (and, with cores on, extractions) in the
+     *  proportion the explorer's match loop sees. */
+    std::vector<ExprRef> match_probes;
 };
 
 /** Phase-2 query shape: pathS over 16 message bytes, 96 predicate
@@ -234,17 +239,33 @@ MakeTrojanWorkload()
         }
         w->negations.push_back(ctx.MakeOrList(disj));
     }
+
+    // Byte positions with an Ult(byte, 240) range constraint in the
+    // prefix: pinning 250 there is UNSAT once the prefix is deep
+    // enough, SAT before.
+    for (size_t i = 0; i < bytes.size(); i += 3)
+        w->match_probes.push_back(
+            ctx.MakeEq(bytes[i], ctx.MakeConst(8, 250)));
     return w;
 }
 
+/** Per-stream solver counters surfaced next to the timings. */
+struct StreamStats
+{
+    int64_t cores_extracted = 0;
+    int64_t core_literals = 0;
+};
+
 /** Run the full query stream; returns seconds. Results are recorded so
- *  the two configurations can be cross-checked. */
+ *  the configurations can be cross-checked. */
 double
-RunTrojanStream(TrojanWorkload *w, bool incremental,
-                std::vector<CheckResult> *results)
+RunTrojanStream(TrojanWorkload *w, bool incremental, bool cores,
+                std::vector<CheckStatus> *results,
+                StreamStats *stream_stats = nullptr)
 {
     SolverConfig config;
     config.enable_incremental = incremental;
+    config.enable_cores = cores;
     config.enable_cache = false;  // isolate the backend, not the memo
     Solver solver(&w->ctx, config);
     results->clear();
@@ -253,30 +274,66 @@ RunTrojanStream(TrojanWorkload *w, bool incremental,
     // HandleBranch/TrojanQuery iteration pattern.
     for (const std::vector<ExprRef> &prefix : w->prefixes) {
         for (ExprRef neg : w->negations)
-            results->push_back(solver.CheckSatAssuming(prefix, {neg}));
+            results->push_back(
+                solver.CheckSatAssuming(prefix, {neg}).status);
+        for (ExprRef probe : w->match_probes)
+            results->push_back(
+                solver.CheckSatAssuming(prefix, {probe}).status);
     }
-    return timer.Seconds();
+    const double seconds = timer.Seconds();
+    if (stream_stats != nullptr) {
+        stream_stats->cores_extracted =
+            solver.stats().Get("solver.cores_extracted");
+        stream_stats->core_literals =
+            solver.stats().Get("solver.core_literals");
+    }
+    return seconds;
 }
 
 bool
-CompareIncrementalVsFresh()
+CompareIncrementalVsFresh(bool with_cores)
 {
     bench::Header("Incremental assumption-based backend vs fresh "
                   "instances (shared-prefix Trojan stream)");
     std::unique_ptr<TrojanWorkload> w = MakeTrojanWorkload();
-    std::vector<CheckResult> fresh_results, inc_results;
+    std::vector<CheckStatus> fresh_results, inc_results, core_results;
     // Warm once to stabilize allocator state, then measure.
-    RunTrojanStream(w.get(), /*incremental=*/false, &fresh_results);
-    const double fresh_s =
-        RunTrojanStream(w.get(), /*incremental=*/false, &fresh_results);
-    const double inc_s =
-        RunTrojanStream(w.get(), /*incremental=*/true, &inc_results);
+    RunTrojanStream(w.get(), /*incremental=*/false, /*cores=*/false,
+                    &fresh_results);
+    const double fresh_s = RunTrojanStream(
+        w.get(), /*incremental=*/false, /*cores=*/false, &fresh_results);
+    const double nocores_s = RunTrojanStream(
+        w.get(), /*incremental=*/true, /*cores=*/false, &inc_results);
     const size_t queries = fresh_results.size();
-    const bool agree = fresh_results == inc_results;
+    bool agree = fresh_results == inc_results;
 
     bench::Metric("smt.trojan_stream_queries",
                   static_cast<double>(queries));
     bench::Metric("smt.fresh_seconds", fresh_s, "s");
+    bench::Metric("smt.incremental_nocores_seconds", nocores_s, "s");
+
+    // The production configuration extracts (and minimizes) a core on
+    // every refutation; smt.incremental_speedup tracks it so the CI
+    // perf trend gates the backend as deployed.
+    double inc_s = nocores_s;
+    if (with_cores) {
+        StreamStats stream_stats;
+        inc_s = RunTrojanStream(w.get(), /*incremental=*/true,
+                                /*cores=*/true, &core_results,
+                                &stream_stats);
+        agree &= fresh_results == core_results;
+        const double overhead =
+            nocores_s > 0 ? 100.0 * (inc_s - nocores_s) / nocores_s : 0.0;
+        bench::Metric("smt.cores_extracted",
+                      static_cast<double>(stream_stats.cores_extracted));
+        bench::Metric("smt.mean_core_size",
+                      stream_stats.cores_extracted > 0
+                          ? static_cast<double>(stream_stats.core_literals) /
+                                static_cast<double>(
+                                    stream_stats.cores_extracted)
+                          : 0.0);
+        bench::Metric("smt.core_overhead_pct", overhead, "%");
+    }
     bench::Metric("smt.incremental_seconds", inc_s, "s");
     bench::Metric("smt.incremental_speedup",
                   inc_s > 0 ? fresh_s / inc_s : 0.0, "x");
@@ -293,6 +350,7 @@ main(int argc, char **argv)
 {
     bench::ParseBenchArgs(argc, argv);
     bool compare = false;
+    bool with_cores = true;
     // Strip harness-only flags before handing argv to Google Benchmark.
     std::vector<char *> gbench_argv{argv[0]};
     for (int i = 1; i < argc; ++i) {
@@ -301,12 +359,17 @@ main(int argc, char **argv)
             ++i;
         } else if (std::strcmp(argv[i], "--compare-incremental") == 0) {
             compare = true;
+        } else if (std::strcmp(argv[i], "--cores") == 0) {
+            compare = true;
+        } else if (std::strcmp(argv[i], "--no-cores") == 0) {
+            with_cores = false;
         } else {
             gbench_argv.push_back(argv[i]);
         }
     }
     // A verdict divergence must fail the process (CI gates on it).
-    const bool agree = compare ? CompareIncrementalVsFresh() : true;
+    const bool agree =
+        compare ? CompareIncrementalVsFresh(with_cores) : true;
 
     int gbench_argc = static_cast<int>(gbench_argv.size());
     benchmark::Initialize(&gbench_argc, gbench_argv.data());

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Perf-trend regression gate over bench_* JSON records.
+
+Compares the current commit's bench records (bench_smt.json /
+bench_parallel.json, arrays of {"metric": ..., "value": ...}) against a
+baseline set downloaded from the previous `bench-records-*` artifact on
+main, and fails on a >threshold relative drop in any watched
+higher-is-better metric:
+
+  * smt.incremental_speedup
+  * parallel.speedup/workers=N   (every N present in BOTH sweeps)
+
+Sweep matching: a parallel.speedup point is only compared when both
+record sets carry its `parallel.swept/workers=N` marker (bench_parallel
+emits one per worker count actually run), so a truncated or widened
+sweep never produces a bogus comparison. Baselines that predate the
+markers fall back to metric presence.
+
+Exit codes: 0 ok / nothing to compare (first run, forks), 1 regression
+(suppressed by --warn-only), 2 usage error.
+"""
+
+import argparse
+import fnmatch
+import json
+import pathlib
+import sys
+
+WATCHED_PATTERNS = [
+    "smt.incremental_speedup",
+    "parallel.speedup/workers=*",
+]
+SWEEP_METRIC_PREFIX = "parallel.speedup/workers="
+SWEEP_MARKER_PREFIX = "parallel.swept/workers="
+
+
+def load_records(paths):
+    """Merge {"metric": v} maps from a list of JSON record files."""
+    merged = {}
+    for path in paths:
+        try:
+            records = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"trend: unreadable record file {path}: {err}")
+            continue
+        for record in records:
+            try:
+                merged[str(record["metric"])] = float(record["value"])
+            except (KeyError, TypeError, ValueError):
+                print(f"trend: malformed record in {path}: {record!r}")
+    return merged
+
+
+def swept_workers(records):
+    """Worker counts a record set actually ran, or None (no markers)."""
+    swept = {
+        metric[len(SWEEP_MARKER_PREFIX):]
+        for metric in records
+        if metric.startswith(SWEEP_MARKER_PREFIX)
+    }
+    return swept or None
+
+
+def comparable(metric, current, baseline):
+    """Apply the sweep-intersection rule for per-worker metrics."""
+    if not metric.startswith(SWEEP_METRIC_PREFIX):
+        return True
+    workers = metric[len(SWEEP_METRIC_PREFIX):]
+    for records in (current, baseline):
+        swept = swept_workers(records)
+        if swept is not None and workers not in swept:
+            return False
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", nargs="+", type=pathlib.Path,
+                        required=True,
+                        help="bench JSON files for this commit")
+    parser.add_argument("--baseline-dir", type=pathlib.Path,
+                        required=True,
+                        help="directory holding the previous artifact's "
+                             "JSON files (may be missing: warn-only)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative drop that fails (default 0.20)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (forks, "
+                             "first runs)")
+    args = parser.parse_args()
+    if not 0 < args.threshold < 1:
+        print(f"trend: bad threshold {args.threshold}")
+        return 2
+
+    current = load_records([p for p in args.current if p.exists()])
+    if not current:
+        print("trend: no current records; nothing to gate")
+        return 0
+
+    baseline_files = (sorted(args.baseline_dir.glob("*.json"))
+                      if args.baseline_dir.is_dir() else [])
+    baseline = load_records(baseline_files)
+    if not baseline:
+        print(f"trend: no baseline under {args.baseline_dir} "
+              "(first run or fork); skipping the gate")
+        return 0
+
+    watched = sorted(
+        metric for metric in set(current) | set(baseline)
+        if any(fnmatch.fnmatchcase(metric, pat)
+               for pat in WATCHED_PATTERNS))
+
+    regressions = []
+    print(f"{'metric':44s} {'baseline':>10s} {'current':>10s} "
+          f"{'delta':>8s}")
+    for metric in watched:
+        if metric not in current or metric not in baseline:
+            print(f"{metric:44s} {'-':>10s} {'-':>10s} "
+                  f"{'(one-sided, skipped)':>8s}")
+            continue
+        if not comparable(metric, current, baseline):
+            print(f"{metric:44s} {'-':>10s} {'-':>10s} "
+                  f"{'(sweep mismatch, skipped)':>8s}")
+            continue
+        base, cur = baseline[metric], current[metric]
+        if base <= 0:
+            print(f"{metric:44s} {base:10.3f} {cur:10.3f} "
+                  f"{'(bad baseline, skipped)':>8s}")
+            continue
+        delta = (cur - base) / base
+        print(f"{metric:44s} {base:10.3f} {cur:10.3f} {delta:+7.1%}")
+        if delta < -args.threshold:
+            regressions.append((metric, base, cur, delta))
+
+    if regressions:
+        print(f"\ntrend: {len(regressions)} metric(s) regressed more "
+              f"than {args.threshold:.0%}:")
+        for metric, base, cur, delta in regressions:
+            print(f"  {metric}: {base:.3f} -> {cur:.3f} ({delta:+.1%})")
+        if args.warn_only:
+            print("trend: --warn-only set; not failing the job")
+            return 0
+        return 1
+    print("\ntrend: no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

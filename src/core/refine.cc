@@ -2,6 +2,8 @@
 
 #include "core/refine.h"
 
+#include <algorithm>
+
 #include "core/client_extractor.h"
 #include "smt/eval.h"
 
@@ -29,18 +31,54 @@ ConfirmWitnesses(smt::ExprContext *ctx, smt::Solver *solver,
         for (uint32_t k = 0; k < f.size; ++k)
             analyzed.push_back(f.offset + k);
 
+    // Unsat cores make the bounded per-path re-checks transfer across
+    // witnesses: a core refuting "path p emits witness w" is a subset
+    // of p's constraints plus pinned-byte equalities, and every witness
+    // agreeing on those bytes builds the identical (interned) pin
+    // expressions, so containment proves the next check UNSAT without
+    // a solver call.
+    const bool cores_usable = solver->config().enable_cores &&
+                              solver->config().max_conflicts < 0;
+    std::vector<std::vector<std::vector<smt::ExprRef>>> cores_by_path(
+        pc.paths.size());
+    static constexpr size_t kCoresPerPath = 8;
+
     for (const TrojanWitness &witness : witnesses) {
         bool producible = false;
-        for (const ClientPathPredicate &pred : pc.paths) {
+        for (size_t p = 0; p < pc.paths.size() && !producible; ++p) {
+            const ClientPathPredicate &pred = pc.paths[p];
             std::vector<smt::ExprRef> query = pred.constraints;
             for (uint32_t off : analyzed) {
                 query.push_back(ctx->MakeEq(
                     pred.bytes[off],
                     ctx->MakeConst(8, witness.concrete[off])));
             }
-            if (solver->CheckSat(query) == smt::CheckResult::kSat) {
+            if (cores_usable) {
+                bool subsumed = false;
+                for (const std::vector<smt::ExprRef> &core :
+                     cores_by_path[p]) {
+                    if (smt::ContainsAllExprs(query, core)) {
+                        subsumed = true;
+                        break;
+                    }
+                }
+                if (subsumed) {
+                    ++result.core_skips;
+                    continue;  // this path cannot emit the witness
+                }
+            }
+            ++result.solver_queries;
+            const smt::CheckResult r = solver->CheckSat(query);
+            if (r == smt::CheckResult::kSat) {
                 producible = true;
-                break;
+            } else if (cores_usable && r == smt::CheckResult::kUnsat &&
+                       r.has_core &&
+                       cores_by_path[p].size() < kCoresPerPath) {
+                std::vector<smt::ExprRef> core;
+                core.reserve(r.core.size());
+                for (uint32_t idx : r.core)
+                    core.push_back(query[idx]);
+                cores_by_path[p].push_back(std::move(core));
             }
         }
         result.verdicts.push_back(producible ? WitnessVerdict::kRefuted

@@ -70,6 +70,7 @@ class ServerExplorer::WorkerListener : public symexec::Listener
         p.stats = &stats_;
         p.samples = &samples_;
         p.trojans = &trojans_;
+        p.trojan_cores = &trojan_cores_;
         return p;
     }
 
@@ -101,6 +102,7 @@ class ServerExplorer::WorkerListener : public symexec::Listener
     StatsRegistry stats_;
     std::vector<LiveSetSample> samples_;
     std::vector<TrojanWitness> trojans_;
+    TrojanCoreMemo trojan_cores_;
 };
 
 class ServerExplorer::WorkerFactory : public exec::WorkerListenerFactory
@@ -196,6 +198,7 @@ ServerExplorer::HomePlane()
     p.stats = &analysis_.stats;
     p.samples = &analysis_.live_samples;
     p.trojans = &analysis_.trojans;
+    p.trojan_cores = &home_trojan_cores_;
     return p;
 }
 
@@ -214,7 +217,7 @@ ServerExplorer::GetLiveSet(symexec::State &state)
     return data;
 }
 
-bool
+smt::CheckResult
 ServerExplorer::PredicateMatches(Plane &plane, const symexec::State &state,
                                  size_t i)
 {
@@ -224,8 +227,136 @@ ServerExplorer::PredicateMatches(Plane &plane, const symexec::State &state,
     // already-blasted CNF.
     plane.stats->Bump("explorer.match_queries");
     return plane.solver->CheckSatAssuming(state.constraints(),
-                                          (*plane.match)[i]) !=
-           smt::CheckResult::kUnsat;
+                                          (*plane.match)[i]);
+}
+
+bool
+ServerExplorer::CoresUsable(const Plane &plane) const
+{
+    // Budgeted solvers can answer kUnknown; nothing may be dropped or
+    // subsumed off a core then (the no-drop-on-kUnknown contract), so
+    // core consumption is reserved for unbudgeted configurations where
+    // every core-guided decision coincides with a kUnsat the solver
+    // would have produced.
+    return config_.use_unsat_cores &&
+           plane.solver->config().enable_cores &&
+           plane.solver->config().max_conflicts < 0;
+}
+
+void
+ServerExplorer::CoreGuidedDrops(Plane &plane, const symexec::State &state,
+                                const smt::CheckResult &result, uint32_t i,
+                                const std::vector<uint32_t> &live,
+                                std::vector<uint8_t> *decided)
+{
+    // Split the core (caller indices over pathS ∥ match_i) back into
+    // expressions.
+    const std::vector<smt::ExprRef> &path = state.constraints();
+    const std::vector<smt::ExprRef> &match_i = (*plane.match)[i];
+    std::vector<smt::ExprRef> match_part;
+    std::vector<smt::ExprRef> core_exprs;
+    core_exprs.reserve(result.core.size());
+    for (uint32_t idx : result.core) {
+        if (idx < path.size()) {
+            core_exprs.push_back(path[idx]);
+        } else {
+            ACHILLES_CHECK(idx - path.size() < match_i.size(),
+                           "core index out of range");
+            match_part.push_back(match_i[idx - path.size()]);
+            core_exprs.push_back(match_part.back());
+        }
+    }
+
+    // Rule 1 (verbatim transfer): a predicate whose match conjunction
+    // contains every implicated match conjunct is refuted by the very
+    // same core -- pathS is shared, so its query is UNSAT without
+    // asking. Conjuncts are interned per plane context, so containment
+    // is pointer membership. (Byte equalities over constant-valued
+    // fields are shared across predicates, which is what makes this
+    // fire: one refuted command byte kills every predicate of that
+    // command.)
+    for (uint32_t j : live) {
+        if ((*decided)[j] != 0 || j == i)
+            continue;
+        if (smt::ContainsAllExprs((*plane.match)[j], match_part)) {
+            (*decided)[j] = 3;
+            plane.stats->Bump("explorer.core_subset_marks");
+        }
+    }
+
+    // Rule 2 (field-localized conflict): when every implicated
+    // constraint is confined to one independent field, the refutation
+    // excludes a superset of predicate i's value set for that field, so
+    // i's differentFrom value class dies with it -- the matrix rule the
+    // branch-constraint path only reaches when the branch itself was
+    // single-field.
+    if (config_.use_different_from && different_from_ != nullptr) {
+        std::string field;
+        bool single = true;
+        for (smt::ExprRef e : core_exprs) {
+            for (const std::string &f : TouchedFields(plane, e)) {
+                if (field.empty()) {
+                    field = f;
+                } else if (field != f) {
+                    single = false;
+                    break;
+                }
+            }
+            if (!single)
+                break;
+        }
+        if (single && !field.empty() &&
+            different_from_->IsIndependentField(field)) {
+            for (uint32_t j : live) {
+                if ((*decided)[j] == 0 && j != i &&
+                    !different_from_->Different(j, i, field)) {
+                    (*decided)[j] = 3;
+                    plane.stats->Bump("explorer.core_field_marks");
+                }
+            }
+        }
+    }
+}
+
+bool
+ServerExplorer::TrojanSubsumedByCore(
+    Plane &plane, const std::vector<smt::ExprRef> &path_constraints,
+    const std::vector<smt::ExprRef> &negations) const
+{
+    for (const TrojanCoreMemo::CoreParts &parts :
+         plane.trojan_cores->entries) {
+        if (smt::ContainsAllExprs(path_constraints, parts.path) &&
+            smt::ContainsAllExprs(negations, parts.negations)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ServerExplorer::RememberTrojanCore(
+    Plane &plane, const std::vector<smt::ExprRef> &path_constraints,
+    const std::vector<smt::ExprRef> &negations,
+    const smt::CheckResult &result)
+{
+    TrojanCoreMemo::CoreParts parts;
+    for (uint32_t idx : result.core) {
+        if (idx < path_constraints.size()) {
+            parts.path.push_back(path_constraints[idx]);
+        } else {
+            ACHILLES_CHECK(idx - path_constraints.size() < negations.size(),
+                           "core index out of range");
+            parts.negations.push_back(
+                negations[idx - path_constraints.size()]);
+        }
+    }
+    TrojanCoreMemo *memo = plane.trojan_cores;
+    if (memo->entries.size() < TrojanCoreMemo::kCapacity) {
+        memo->entries.push_back(std::move(parts));
+    } else {
+        memo->entries[memo->next] = std::move(parts);
+        memo->next = (memo->next + 1) % TrojanCoreMemo::kCapacity;
+    }
 }
 
 smt::CheckResult
@@ -244,9 +375,20 @@ ServerExplorer::TrojanQuery(
         }
         negations.push_back((*plane.negations)[i]);
     }
+    // Only model-less (pruning) queries consult and feed the core memo:
+    // witness-producing queries must reach the deterministic
+    // fresh-instance path for their model bytes.
+    const bool cores = model == nullptr && CoresUsable(plane);
+    if (cores && TrojanSubsumedByCore(plane, path_constraints, negations)) {
+        plane.stats->Bump("explorer.trojan_core_subsumed");
+        return smt::CheckResult(smt::CheckStatus::kUnsat);
+    }
     plane.stats->Bump("explorer.trojan_queries");
-    return plane.solver->CheckSatAssuming(path_constraints, negations,
-                                          model);
+    smt::CheckResult result = plane.solver->CheckSatAssuming(
+        path_constraints, negations, model);
+    if (cores && result == smt::CheckResult::kUnsat && result.has_core)
+        RememberTrojanCore(plane, path_constraints, negations, result);
+    return result;
 }
 
 std::vector<std::string>
@@ -285,19 +427,27 @@ ServerExplorer::HandleBranch(Plane &plane, symexec::State &state,
             different_from_ != nullptr &&
             different_from_->IsIndependentField(fields[0]);
 
+        const bool cores_usable = CoresUsable(plane);
         std::vector<uint32_t> survivors;
         survivors.reserve(data->live.size());
-        std::vector<uint8_t> decided(preds_->size(), 0);  // 1=drop, 2=keep
+        // Per-predicate verdicts: 1 = drop via the differentFrom value
+        // class, 2 = keep (matched), 3 = drop via an unsat core.
+        std::vector<uint8_t> decided(preds_->size(), 0);
         for (uint32_t i : data->live) {
             if (decided[i] == 1) {
                 plane.stats->Bump("explorer.difffrom_drops");
+                continue;
+            }
+            if (decided[i] == 3) {
+                plane.stats->Bump("explorer.core_drops");
                 continue;
             }
             if (decided[i] == 2) {
                 survivors.push_back(i);
                 continue;
             }
-            if (PredicateMatches(plane, state, i)) {
+            const smt::CheckResult r = PredicateMatches(plane, state, i);
+            if (r != smt::CheckResult::kUnsat) {
                 survivors.push_back(i);
                 decided[i] = 2;
                 continue;
@@ -314,6 +464,11 @@ ServerExplorer::HandleBranch(Plane &plane, symexec::State &state,
                     }
                 }
             }
+            // Core-guided transitive drops: everything the refutation
+            // itself implicates dies with i, whatever the branch
+            // constraint touched.
+            if (cores_usable && r.has_core)
+                CoreGuidedDrops(plane, state, r, i, data->live, &decided);
         }
         data->live = std::move(survivors);
     }

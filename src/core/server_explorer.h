@@ -59,6 +59,20 @@ struct ServerExplorerConfig
     bool use_different_from = true;
     /** Prune states that no Trojan message can trigger (3.2). */
     bool prune_trojan_free_states = true;
+    /**
+     * Consume unsat cores from the solver to drop every predicate a
+     * refutation transitively implicates (not just the one under test)
+     * and to subsume repeat Trojan refutations without a solver call.
+     * Core-guided drops only ever accelerate decisions the plain query
+     * path would make identically (the core proves the sibling query
+     * UNSAT outright, or re-enters the differentFrom value-class rule
+     * with the core's field instead of the branch constraint's), so
+     * live sets -- and therefore witness sets -- are bitwise identical
+     * with the toggle on or off. Never consulted when the solver runs
+     * budgeted queries (max_conflicts >= 0): a budget can answer
+     * kUnknown, and nothing may be dropped on kUnknown.
+     */
+    bool use_unsat_cores = true;
 };
 
 /** A discovered Trojan message. */
@@ -154,6 +168,27 @@ class ServerExplorer : public symexec::Listener
     friend class WorkerListener;
 
     /**
+     * Recent unsat cores of pruning Trojan queries, split into the
+     * path-constraint part and the negation part. A later query whose
+     * constraint set contains the path part and whose negation set
+     * contains the negation part is UNSAT by the same core -- a
+     * subsumption hit that skips the solver. Bounded ring, one per
+     * plane (worker-private; expressions are plane-context interned so
+     * membership is pointer equality).
+     */
+    struct TrojanCoreMemo
+    {
+        struct CoreParts
+        {
+            std::vector<smt::ExprRef> path;
+            std::vector<smt::ExprRef> negations;
+        };
+        static constexpr size_t kCapacity = 16;
+        std::vector<CoreParts> entries;
+        size_t next = 0;
+    };
+
+    /**
      * One data plane for the exploration logic: the context, solver and
      * per-predicate expression tables the logic runs against, plus the
      * sinks it writes to. The serial path uses a single home plane; with
@@ -172,6 +207,7 @@ class ServerExplorer : public symexec::Listener
         StatsRegistry *stats;
         std::vector<LiveSetSample> *samples;
         std::vector<TrojanWitness> *trojans;
+        TrojanCoreMemo *trojan_cores;
     };
 
     Plane HomePlane();
@@ -179,9 +215,37 @@ class ServerExplorer : public symexec::Listener
     /** Live-set of a state, creating the full set on first touch. */
     LiveSet *GetLiveSet(symexec::State &state);
 
-    /** Combined query: state constraints + client predicate i matches. */
-    bool PredicateMatches(Plane &plane, const symexec::State &state,
-                          size_t i);
+    /** Combined query: state constraints + client predicate i matches.
+     *  The full outcome is returned so kUnsat cores can be consumed. */
+    smt::CheckResult PredicateMatches(Plane &plane,
+                                      const symexec::State &state,
+                                      size_t i);
+
+    /** True when core consumption is sound and enabled: the config
+     *  toggle is on and the plane's solver runs unbudgeted queries. */
+    bool CoresUsable(const Plane &plane) const;
+
+    /**
+     * Mark every still-undecided live predicate that the core of
+     * predicate `i`'s refutation also refutes: predicates whose match
+     * conjunction contains all implicated match conjuncts (the
+     * refutation applies verbatim), and -- when the whole core touches
+     * a single independent field -- predicate i's differentFrom value
+     * class for that field.
+     */
+    void CoreGuidedDrops(Plane &plane, const symexec::State &state,
+                         const smt::CheckResult &result, uint32_t i,
+                         const std::vector<uint32_t> &live,
+                         std::vector<uint8_t> *decided);
+
+    /** Subsumption probe / recording for pruning Trojan queries. */
+    bool TrojanSubsumedByCore(
+        Plane &plane, const std::vector<smt::ExprRef> &path_constraints,
+        const std::vector<smt::ExprRef> &negations) const;
+    void RememberTrojanCore(
+        Plane &plane, const std::vector<smt::ExprRef> &path_constraints,
+        const std::vector<smt::ExprRef> &negations,
+        const smt::CheckResult &result);
 
     /** Trojan query for a state; fills the model when sat. */
     smt::CheckResult TrojanQuery(
@@ -221,6 +285,7 @@ class ServerExplorer : public symexec::Listener
     std::vector<smt::ExprRef> negation_exprs_;
 
     ServerAnalysis analysis_;
+    TrojanCoreMemo home_trojan_cores_;
     Timer timer_;
 };
 

@@ -75,7 +75,8 @@ QueryCache::ShardFor(const QueryCacheKey &key)
 bool
 QueryCache::Lookup(const QueryCacheKey &key,
                    const QueryFingerprints &fingerprints, bool want_model,
-                   smt::CheckResult *result, smt::Model *model)
+                   smt::CheckStatus *status, smt::Model *model,
+                   bool *has_core, QueryFingerprints *core)
 {
     Shard &shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -90,7 +91,7 @@ QueryCache::Lookup(const QueryCacheKey &key,
         misses_.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
-    if (want_model && entry.result == smt::CheckResult::kSat &&
+    if (want_model && entry.status == smt::CheckStatus::kSat &&
         !entry.has_model) {
         // Known-sat but no witness stored: the caller must re-solve on
         // the model-producing path (which will upgrade this entry).
@@ -98,25 +99,30 @@ QueryCache::Lookup(const QueryCacheKey &key,
         return false;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
-    *result = entry.result;
+    *status = entry.status;
     if (model)
         *model = entry.model;
+    if (has_core)
+        *has_core = entry.has_core;
+    if (core)
+        *core = entry.core;
     return true;
 }
 
 void
 QueryCache::Insert(const QueryCacheKey &key,
                    const QueryFingerprints &fingerprints,
-                   smt::CheckResult result, bool has_model,
-                   const smt::Model &model)
+                   smt::CheckStatus status, bool has_model,
+                   const smt::Model &model, bool has_core,
+                   const QueryFingerprints &core)
 {
-    if (result == smt::CheckResult::kUnknown)
+    if (status == smt::CheckStatus::kUnknown)
         return;  // may become decidable with a bigger budget; don't pin
     Shard &shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto [it, inserted] =
-        shard.map.try_emplace(key, Entry{result, has_model, fingerprints,
-                                         model});
+        shard.map.try_emplace(key, Entry{status, has_model, has_core,
+                                         fingerprints, model, core});
     if (inserted)
         return;
     Entry &entry = it->second;
@@ -132,6 +138,14 @@ QueryCache::Insert(const QueryCacheKey &key,
         // upgrade stores the same bytes.
         entry.model = model;
         entry.has_model = true;
+    }
+    if (has_core && !entry.has_core) {
+        // Core upgrade (an UNSAT first recorded off the model-producing
+        // fresh path carries no core; a later incremental answer does).
+        // Cores of the same query may differ across solver histories --
+        // any of them is a valid refutation, so first writer wins.
+        entry.core = core;
+        entry.has_core = true;
     }
 }
 
@@ -189,21 +203,71 @@ CachedSolver::CheckShared(const std::vector<smt::ExprRef> &base,
                                 &fingerprints, extras)) {
         return Solver::CheckSatSets(base, extras, model);
     }
-    smt::CheckResult result;
-    if (cache_->Lookup(key, fingerprints, model != nullptr, &result,
-                       model)) {
+    const auto assertion_at = [&](uint32_t idx) {
+        return idx < base.size() ? base[idx]
+                                 : (*extras)[idx - base.size()];
+    };
+    const size_t total =
+        base.size() + (extras != nullptr ? extras->size() : 0);
+    // Mirror the facade's contract: cores only surface to callers whose
+    // query would have taken the core-producing path themselves, so a
+    // budgeted or model-requesting caller never sees one off a shared
+    // hit either.
+    const bool core_path = model == nullptr &&
+                           config().enable_incremental &&
+                           config().max_conflicts < 0 &&
+                           config().enable_cores;
+
+    smt::CheckStatus status;
+    bool has_core = false;
+    QueryFingerprints core_fps;
+    if (cache_->Lookup(key, fingerprints, model != nullptr, &status,
+                       model, &has_core, &core_fps)) {
         // Counted once, in the cache's own hit counter (exported as
         // "exec.queries_cached" by ExportStats) -- a per-solver bump
         // here would double-count after the merge.
+        smt::CheckResult result(status);
+        if (has_core && core_path) {
+            // Cores travel as context-independent structural
+            // fingerprints; re-anchor them to this caller's assertion
+            // indices (first occurrence per fingerprint, matching the
+            // Solver contract for duplicated assertions).
+            result.has_core = true;
+            QueryFingerprints remaining = core_fps;
+            for (uint32_t idx = 0;
+                 idx < total && !remaining.empty(); ++idx) {
+                const smt::ExprRef e = assertion_at(idx);
+                const std::pair<uint64_t, uint64_t> fp(e->struct_hash(),
+                                                       e->struct_hash2());
+                auto it = std::find(remaining.begin(), remaining.end(),
+                                    fp);
+                if (it != remaining.end()) {
+                    result.core.push_back(idx);
+                    remaining.erase(it);
+                }
+            }
+        }
         return result;
     }
     // Model-less queries run on the per-worker incremental backend and
     // publish model-less entries; a later model-requesting caller takes
     // the deterministic fresh-instance path and upgrades the entry.
-    result = Solver::CheckSatSets(base, extras, model);
-    cache_->Insert(key, fingerprints, result,
+    smt::CheckResult result = Solver::CheckSatSets(base, extras, model);
+    QueryFingerprints out_core;
+    if (result.has_core) {
+        out_core.reserve(result.core.size());
+        for (uint32_t idx : result.core) {
+            const smt::ExprRef e = assertion_at(idx);
+            out_core.emplace_back(e->struct_hash(), e->struct_hash2());
+        }
+        std::sort(out_core.begin(), out_core.end());
+        out_core.erase(std::unique(out_core.begin(), out_core.end()),
+                       out_core.end());
+    }
+    cache_->Insert(key, fingerprints, result.status,
                    /*has_model=*/model != nullptr,
-                   model != nullptr ? *model : smt::Model());
+                   model != nullptr ? *model : smt::Model(),
+                   result.has_core, out_core);
     return result;
 }
 

@@ -93,21 +93,29 @@ class QueryCache
      * when `want_model` is set, a kSat entry to actually carry a model
      * (entries published by the model-less incremental solving path do
      * not; the caller re-solves on the deterministic model-producing
-     * path and upgrades the entry via Insert).
+     * path and upgrades the entry via Insert). kUnsat entries may carry
+     * the unsat core as the fingerprints of the implicated assertions
+     * (`*has_core`/`*core`); like everything else in an entry the core
+     * is only meaningful because the full fingerprint vector matched.
      */
     bool Lookup(const QueryCacheKey &key,
                 const QueryFingerprints &fingerprints, bool want_model,
-                smt::CheckResult *result, smt::Model *model);
+                smt::CheckStatus *status, smt::Model *model,
+                bool *has_core = nullptr, QueryFingerprints *core = nullptr);
 
     /**
      * Publish a result (kUnknown results are not stored). Re-inserting
-     * an existing entry with `has_model` set upgrades a model-less
-     * entry in place; fingerprint-mismatched keys are left untouched.
+     * an existing entry with `has_model` (resp. `has_core`) set
+     * upgrades a model-less (core-less) entry in place;
+     * fingerprint-mismatched keys are left untouched. `core` holds the
+     * sorted fingerprints of the core assertions for kUnsat answers
+     * decided by the incremental backend.
      */
     void Insert(const QueryCacheKey &key,
                 const QueryFingerprints &fingerprints,
-                smt::CheckResult result, bool has_model,
-                const smt::Model &model);
+                smt::CheckStatus status, bool has_model,
+                const smt::Model &model, bool has_core = false,
+                const QueryFingerprints &core = {});
 
     int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
     int64_t misses() const
@@ -126,10 +134,13 @@ class QueryCache
   private:
     struct Entry
     {
-        smt::CheckResult result = smt::CheckResult::kUnknown;
+        smt::CheckStatus status = smt::CheckStatus::kUnknown;
         bool has_model = false;
+        bool has_core = false;
         QueryFingerprints fingerprints;
         smt::Model model;
+        /** Sorted fingerprints of the core assertions (kUnsat only). */
+        QueryFingerprints core;
     };
     struct KeyHash
     {

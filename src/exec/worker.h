@@ -19,6 +19,17 @@
 // intact because every model is produced by the fresh-instance path (a
 // pure function of the canonicalized query), never by the
 // history-dependent persistent SAT instance.
+//
+// Unsat cores cross workers without expression translation: a worker's
+// incremental backend reports a core as indices into the caller's own
+// assertion vectors (already in that worker's context), and the shared
+// query cache stores cores as context-independent structural
+// fingerprints that each CachedSolver re-anchors to its caller's
+// indices on a hit (exec/query_cache.h). Cores from different solver
+// histories may differ, but every core proves the same kUnsat verdict,
+// so core-guided consumers (the server explorer's predicate dropping)
+// stay schedule-independent in their results even when their skipped
+// query counts differ.
 
 #ifndef ACHILLES_EXEC_WORKER_H_
 #define ACHILLES_EXEC_WORKER_H_

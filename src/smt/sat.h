@@ -84,6 +84,24 @@ class SatSolver
     SatStatus Solve(const std::vector<Lit> &assumptions = {},
                     int64_t max_conflicts = -1);
 
+    /**
+     * The assumption subset responsible for the last kUnsat answer (the
+     * unsat core over assumptions): an analyze-final pass over the
+     * implication graph from the final conflict, ordered like the
+     * caller's assumption vector. Valid until the next Solve. An empty
+     * core on kUnsat means the clause set is unsatisfiable regardless
+     * of assumptions. With SetMinimizeCore(true), unbudgeted kUnsat
+     * answers additionally run a deletion-based minimization loop:
+     * each member is dropped in turn and the remainder re-probed
+     * (refute-only, so a probe is one propagation pass), rescanning
+     * until a fixpoint. The result is minimal with respect to
+     * propagation-level refutations -- exact on the conflicting-pair
+     * cores the explorer feeds on, conservative (never too small) in
+     * general.
+     */
+    const std::vector<Lit> &unsat_core() const { return core_; }
+    void SetMinimizeCore(bool on) { minimize_core_ = on; }
+
     /** Model value of a variable (valid after kSat). */
     bool
     Value(uint32_t var) const
@@ -133,6 +151,17 @@ class SatSolver
     };
 
     LBool LitValue(Lit l) const;
+    /** `refute_only`: return kUnknown (instead of branching toward a
+     *  model) once every assumption is established conflict-free --
+     *  the cheap probe mode deletion-minimization runs, where only a
+     *  propagation-level refutation matters. */
+    SatStatus Search(const std::vector<Lit> &assumptions,
+                     int64_t max_conflicts, bool refute_only = false);
+    void AnalyzeFinalConflict(ClauseRef conflict);
+    void AnalyzeFinalLit(Lit p);
+    void CollectCoreFromSeen();
+    void SortCore(const std::vector<Lit> &assumptions);
+    void MinimizeCore();
     void NewDecisionLevel() { trail_lim_.push_back(trail_.size()); }
     uint32_t DecisionLevel() const
     {
@@ -207,6 +236,8 @@ class SatSolver
     double cla_inc_ = 1.0;
     int64_t learnt_cap_ = 0;  // 0 = auto-size on next Solve
     bool ok_ = true;
+    bool minimize_core_ = false;
+    std::vector<Lit> core_;
 
     // Conflict analysis scratch.
     std::vector<uint8_t> seen_;

@@ -12,14 +12,14 @@ namespace achilles {
 namespace smt {
 
 const char *
-CheckResultName(CheckResult r)
+CheckResultName(CheckStatus s)
 {
-    switch (r) {
-      case CheckResult::kSat: return "sat";
-      case CheckResult::kUnsat: return "unsat";
-      case CheckResult::kUnknown: return "unknown";
+    switch (s) {
+      case CheckStatus::kSat: return "sat";
+      case CheckStatus::kUnsat: return "unsat";
+      case CheckStatus::kUnknown: return "unknown";
     }
-    ACHILLES_UNREACHABLE("bad CheckResult");
+    ACHILLES_UNREACHABLE("bad CheckStatus");
 }
 
 /**
@@ -84,9 +84,15 @@ Solver::CheckSatAssuming(const std::vector<ExprRef> &base,
 bool
 Solver::Canonicalize(const std::vector<ExprRef> &base,
                      const std::vector<ExprRef> *extras,
-                     std::vector<ExprRef> *live) const
+                     std::vector<ExprRef> *live,
+                     std::vector<uint32_t> *caller_index,
+                     uint32_t *false_index) const
 {
-    live->reserve(base.size() + (extras ? extras->size() : 0));
+    // Collect live assertions tagged with their caller position (base
+    // first, then extras) so unsat cores can be mapped back.
+    std::vector<std::pair<ExprRef, uint32_t>> entries;
+    entries.reserve(base.size() + (extras ? extras->size() : 0));
+    uint32_t idx = 0;
     for (size_t part = 0; part < 2; ++part) {
         const std::vector<ExprRef> *assertions =
             part == 0 ? &base : extras;
@@ -94,11 +100,13 @@ Solver::Canonicalize(const std::vector<ExprRef> &base,
             continue;
         for (ExprRef e : *assertions) {
             ACHILLES_CHECK(e->width() == 1, "non-boolean assertion");
-            if (e->IsTrue())
-                continue;
-            if (e->IsFalse())
+            if (e->IsFalse()) {
+                *false_index = idx;
                 return false;
-            live->push_back(e);
+            }
+            if (!e->IsTrue())
+                entries.emplace_back(e, idx);
+            ++idx;
         }
     }
     // Deduplicate and order structurally. The order fixes the CNF
@@ -107,11 +115,22 @@ Solver::Canonicalize(const std::vector<ExprRef> &base,
     // -- and therefore the model returned for satisfiable queries --
     // identical across runs and across the id-aligned worker contexts
     // of the parallel explorer. The incremental backend reuses it as a
-    // deterministic assumption order.
-    std::sort(live->begin(), live->end(), [](ExprRef a, ExprRef b) {
-        return StructuralCompare(a, b) < 0;
-    });
-    live->erase(std::unique(live->begin(), live->end()), live->end());
+    // deterministic assumption order. Ties break on caller position so
+    // duplicates collapse onto their first occurrence.
+    std::sort(entries.begin(), entries.end(),
+              [](const std::pair<ExprRef, uint32_t> &a,
+                 const std::pair<ExprRef, uint32_t> &b) {
+                  const int c = StructuralCompare(a.first, b.first);
+                  return c != 0 ? c < 0 : a.second < b.second;
+              });
+    live->reserve(entries.size());
+    caller_index->reserve(entries.size());
+    for (const auto &[e, pos] : entries) {
+        if (!live->empty() && live->back() == e)
+            continue;
+        live->push_back(e);
+        caller_index->push_back(pos);
+    }
     return true;
 }
 
@@ -121,19 +140,47 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
 {
     stats_.Bump("solver.queries");
 
+    // Cores only accompany answers the model-less, unbudgeted
+    // incremental path could have produced -- including the trivial
+    // ones, so has_core remains a reliable proxy for "decided on the
+    // core-producing path" (budgeted and model-producing queries are
+    // always core-less, per the CheckResult contract).
+    const bool incremental_path = model == nullptr &&
+                                  config_.enable_incremental &&
+                                  config_.max_conflicts < 0;
+    const bool core_path = incremental_path && config_.enable_cores;
+
     std::vector<ExprRef> live;
-    if (!Canonicalize(base, extras, &live)) {
+    std::vector<uint32_t> caller_index;
+    uint32_t false_index = 0;
+    if (!Canonicalize(base, extras, &live, &caller_index, &false_index)) {
         stats_.Bump("solver.trivial_unsat");
         if (model)
             *model = Model();
-        return CheckResult::kUnsat;
+        CheckResult result(CheckStatus::kUnsat);
+        if (core_path) {
+            result.has_core = true;
+            result.core.push_back(false_index);
+        }
+        return result;
     }
     if (live.empty()) {
         stats_.Bump("solver.trivial_sat");
         if (model)
             *model = Model();
-        return CheckResult::kSat;
+        return CheckStatus::kSat;
     }
+
+    // Cores travel through both caches in canonical (live-vector)
+    // indices; per-call they are mapped to the caller's positions.
+    const auto core_to_caller = [&](const std::vector<uint32_t> &live_core) {
+        std::vector<uint32_t> out;
+        out.reserve(live_core.size());
+        for (uint32_t k : live_core)
+            out.push_back(caller_index[k]);
+        std::sort(out.begin(), out.end());
+        return out;
+    };
 
     CacheEntry *upgrade_entry = nullptr;
     if (config_.enable_cache) {
@@ -144,7 +191,12 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
                 stats_.Bump("solver.cache_hits");
                 if (model)
                     *model = entry.model;
-                return entry.result;
+                CheckResult result(entry.status);
+                if (entry.has_core && core_path) {
+                    result.has_core = true;
+                    result.core = core_to_caller(entry.core);
+                }
+                return result;
             }
             // kSat cached off the model-less incremental path but the
             // caller wants a witness: fall through to the fresh solve
@@ -154,22 +206,33 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
         }
     }
 
-    if (config_.use_interval_check && upgrade_entry == nullptr) {
+    // On the core-producing path the interval pre-check is skipped so
+    // refutations come with a core. The backend decides
+    // interval-refutable queries in a few conflicts over
+    // already-memoized CNF, so this trades a cheap pass for a cheap
+    // solve plus an explanation every consumer downstream can drop
+    // predicates with.
+    if (config_.use_interval_check && !core_path &&
+        upgrade_entry == nullptr) {
         IntervalChecker checker(ctx_);
         if (checker.DefinitelyUnsat(live)) {
             stats_.Bump("solver.interval_unsat");
             if (config_.enable_cache) {
-                cache_.emplace(live, CacheEntry{CheckResult::kUnsat,
-                                                /*has_model=*/true,
-                                                Model()});
+                cache_.emplace(live,
+                               CacheEntry{CheckStatus::kUnsat,
+                                          /*has_model=*/true, Model(),
+                                          /*has_core=*/false, {}});
             }
             if (model)
                 *model = Model();
-            return CheckResult::kUnsat;
+            // The interval checker proves, but does not explain: no core.
+            return CheckStatus::kUnsat;
         }
     }
 
-    CheckResult result;
+    CheckStatus status;
+    bool got_core = false;
+    std::vector<uint32_t> live_core;
     Model out_model;
     // The incremental path serves model-less, unlimited-budget queries
     // only. Model-producing queries need the fresh instance for
@@ -177,35 +240,39 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
     // conflict budget spent against history-dependent learned clauses
     // would make the kUnsat/kUnknown boundary depend on the query
     // stream, not the query.
-    if (model == nullptr && config_.enable_incremental &&
-        config_.max_conflicts < 0) {
-        result = SolveIncremental(live);
+    if (incremental_path) {
+        status = SolveIncremental(live, &got_core, &live_core);
     } else {
-        result = SolveFresh(live, &out_model);
+        status = SolveFresh(live, &out_model);
     }
 
-    if (config_.enable_cache && result != CheckResult::kUnknown) {
+    if (config_.enable_cache && status != CheckStatus::kUnknown) {
         // has_model: kSat entries carry a model only when one was
         // computed; kUnsat/kUnknown answers have the empty model by
         // definition, so those entries can always serve model callers.
         const bool has_model =
-            result != CheckResult::kSat || model != nullptr;
+            status != CheckStatus::kSat || model != nullptr;
         if (upgrade_entry != nullptr) {
-            if (result == CheckResult::kSat) {
+            if (status == CheckStatus::kSat) {
                 upgrade_entry->model = out_model;
                 upgrade_entry->has_model = true;
             }
         } else {
-            cache_.emplace(live,
-                           CacheEntry{result, has_model, out_model});
+            cache_.emplace(live, CacheEntry{status, has_model, out_model,
+                                            got_core, live_core});
         }
+    }
+    CheckResult result(status);
+    if (got_core) {
+        result.has_core = true;
+        result.core = core_to_caller(live_core);
     }
     if (model)
         *model = out_model;
     return result;
 }
 
-CheckResult
+CheckStatus
 Solver::SolveFresh(const std::vector<ExprRef> &live, Model *out_model)
 {
     stats_.Bump("solver.sat_calls");
@@ -219,9 +286,9 @@ Solver::SolveFresh(const std::vector<ExprRef> &live, Model *out_model)
 
     switch (status) {
       case SatStatus::kUnsat:
-        return CheckResult::kUnsat;
+        return CheckStatus::kUnsat;
       case SatStatus::kUnknown:
-        return CheckResult::kUnknown;
+        return CheckStatus::kUnknown;
       case SatStatus::kSat: {
         std::unordered_set<uint32_t> vars;
         for (ExprRef e : live)
@@ -235,15 +302,18 @@ Solver::SolveFresh(const std::vector<ExprRef> &live, Model *out_model)
                                ctx_->ToString(e));
             }
         }
-        return CheckResult::kSat;
+        return CheckStatus::kSat;
       }
     }
     ACHILLES_UNREACHABLE("bad SatStatus");
 }
 
-CheckResult
-Solver::SolveIncremental(const std::vector<ExprRef> &live)
+CheckStatus
+Solver::SolveIncremental(const std::vector<ExprRef> &live, bool *has_core,
+                         std::vector<uint32_t> *core)
 {
+    *has_core = false;
+    core->clear();
     if (inc_ && inc_->sat.NumVars() > config_.incremental_max_vars) {
         stats_.Bump("solver.incremental_resets");
         inc_.reset();
@@ -253,6 +323,8 @@ Solver::SolveIncremental(const std::vector<ExprRef> &live)
     if (!inc_)
         inc_ = std::make_unique<IncrementalBackend>();
     stats_.Bump("solver.incremental_sat_calls");
+    inc_->sat.SetMinimizeCore(config_.enable_cores &&
+                              config_.minimize_cores);
 
     std::vector<Lit> assumptions;
     assumptions.reserve(live.size());
@@ -269,9 +341,29 @@ Solver::SolveIncremental(const std::vector<ExprRef> &live)
     inc_decisions_seen_ = decisions;
 
     switch (status) {
-      case SatStatus::kUnsat: return CheckResult::kUnsat;
-      case SatStatus::kUnknown: return CheckResult::kUnknown;
-      case SatStatus::kSat: return CheckResult::kSat;
+      case SatStatus::kUnsat:
+        if (config_.enable_cores) {
+            // Map core activation literals back to positions in `live`.
+            // Both sequences are in assumption order, so a single merge
+            // pass suffices and the indices come out ascending.
+            const std::vector<Lit> &sat_core = inc_->sat.unsat_core();
+            *has_core = true;
+            core->reserve(sat_core.size());
+            uint32_t k = 0;
+            for (Lit l : sat_core) {
+                while (k < assumptions.size() && assumptions[k] != l)
+                    ++k;
+                if (k == assumptions.size())
+                    break;
+                core->push_back(k++);
+            }
+            stats_.Bump("solver.cores_extracted");
+            stats_.Bump("solver.core_literals",
+                        static_cast<int64_t>(core->size()));
+        }
+        return CheckStatus::kUnsat;
+      case SatStatus::kUnknown: return CheckStatus::kUnknown;
+      case SatStatus::kSat: return CheckStatus::kSat;
     }
     ACHILLES_UNREACHABLE("bad SatStatus");
 }

@@ -21,10 +21,80 @@
 namespace achilles {
 namespace smt {
 
-/** Outcome of a satisfiability query. */
-enum class CheckResult { kSat, kUnsat, kUnknown };
+/** Status of a satisfiability query. */
+enum class CheckStatus : uint8_t { kSat, kUnsat, kUnknown };
 
-const char *CheckResultName(CheckResult r);
+/**
+ * Outcome of a satisfiability query: the status plus, for kUnsat
+ * answers decided by the incremental assumption-based backend, the
+ * unsat core mapped back to the caller's assertion indices.
+ *
+ * Core indexing: CheckSat(assertions) uses positions into `assertions`;
+ * CheckSatAssuming(base, extras) indexes base first, then extras offset
+ * by base.size(). Duplicated assertions report their first occurrence.
+ * `has_core` distinguishes "no core information" (fresh-instance or
+ * interval answers, cache entries recorded without one) from a genuine
+ * core; an empty core with has_core set means the query is
+ * unsatisfiable regardless of the assertions (cannot arise from
+ * guarded assertions, but callers must treat it as "everything is
+ * implicated"). Cores never accompany kSat/kUnknown: budgeted and
+ * model-producing queries bypass the incremental backend entirely, so
+ * core-guided callers can never confuse an undecided answer with a
+ * refutation.
+ *
+ * The struct is source-compatible with the old `enum CheckResult`:
+ * `CheckResult::kSat` still names the status constant and comparisons
+ * against a CheckStatus compare the status only.
+ */
+struct CheckResult
+{
+    CheckStatus status = CheckStatus::kUnknown;
+    bool has_core = false;
+    /** Caller assertion indices implicated in the refutation, ascending. */
+    std::vector<uint32_t> core;
+
+    CheckResult() = default;
+    /*implicit*/ CheckResult(CheckStatus s) : status(s) {}
+
+    static constexpr CheckStatus kSat = CheckStatus::kSat;
+    static constexpr CheckStatus kUnsat = CheckStatus::kUnsat;
+    static constexpr CheckStatus kUnknown = CheckStatus::kUnknown;
+
+    friend bool operator==(const CheckResult &r, CheckStatus s)
+    {
+        return r.status == s;
+    }
+    friend bool operator==(CheckStatus s, const CheckResult &r)
+    {
+        return r.status == s;
+    }
+    friend bool operator!=(const CheckResult &r, CheckStatus s)
+    {
+        return r.status != s;
+    }
+    friend bool operator!=(CheckStatus s, const CheckResult &r)
+    {
+        return r.status != s;
+    }
+    /** Two outcomes are equal iff their statuses agree: the core is an
+     *  explanation of a kUnsat verdict, not part of the verdict (the
+     *  same query answers kUnsat with or without core extraction). */
+    friend bool operator==(const CheckResult &a, const CheckResult &b)
+    {
+        return a.status == b.status;
+    }
+    friend bool operator!=(const CheckResult &a, const CheckResult &b)
+    {
+        return a.status != b.status;
+    }
+};
+
+const char *CheckResultName(CheckStatus s);
+inline const char *
+CheckResultName(const CheckResult &r)
+{
+    return CheckResultName(r.status);
+}
 
 /** Tunables for the solver facade. */
 struct SolverConfig
@@ -53,6 +123,24 @@ struct SolverConfig
      * history.
      */
     bool enable_incremental = true;
+    /**
+     * Extract unsat cores over assumptions on the incremental path and
+     * expose them through CheckResult. Extraction itself is one
+     * analyze-final walk over the final conflict's implication graph
+     * (near-free); consumers use cores to drop every assertion set a
+     * refutation transitively implicates (core-guided predicate
+     * dropping in the server explorer, witness-check reuse in
+     * refinement).
+     */
+    bool enable_cores = true;
+    /**
+     * Additionally minimize each core by deletion (re-solving the core
+     * minus each member until a fixpoint). Minimal cores transfer to
+     * more sibling queries, which is what makes core-guided dropping
+     * pay; the probes run on the already-learned incremental instance
+     * and are cheap. Only applies when enable_cores is set.
+     */
+    bool minimize_cores = true;
     /**
      * Reset threshold for the incremental backend. A SAT verdict must
      * extend to a full assignment over every variable ever blasted into
@@ -138,12 +226,16 @@ class Solver
   private:
     struct CacheEntry
     {
-        CheckResult result;
+        CheckStatus status;
         /** False for kSat entries produced by the model-less incremental
          *  path; such hits cannot serve model-requesting callers and are
          *  upgraded in place by a fresh-instance solve. */
         bool has_model;
         Model model;
+        /** Unsat core in canonical (live-vector) indices; kUnsat entries
+         *  from the fresh-instance path carry none. */
+        bool has_core = false;
+        std::vector<uint32_t> core;
     };
     struct AssertionsHash
     {
@@ -152,15 +244,23 @@ class Solver
     struct IncrementalBackend;
 
     /** Canonical form: live (non-trivial) assertions, structurally
-     *  sorted and deduplicated. Returns false on a trivially-false
-     *  assertion. */
+     *  sorted and deduplicated, plus per-live-entry indices into the
+     *  caller's base∥extras concatenation (first occurrence wins).
+     *  Returns false on a trivially-false assertion, reporting its
+     *  caller index through `false_index`. */
     bool Canonicalize(const std::vector<ExprRef> &base,
                       const std::vector<ExprRef> *extras,
-                      std::vector<ExprRef> *live) const;
+                      std::vector<ExprRef> *live,
+                      std::vector<uint32_t> *caller_index,
+                      uint32_t *false_index) const;
 
-    CheckResult SolveFresh(const std::vector<ExprRef> &live,
+    CheckStatus SolveFresh(const std::vector<ExprRef> &live,
                            Model *out_model);
-    CheckResult SolveIncremental(const std::vector<ExprRef> &live);
+    /** Returns the status plus, on kUnsat with cores enabled, the core
+     *  as indices into `live`. */
+    CheckStatus SolveIncremental(const std::vector<ExprRef> &live,
+                                 bool *has_core,
+                                 std::vector<uint32_t> *core);
 
     ExprContext *ctx_;
     SolverConfig config_;

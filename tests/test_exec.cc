@@ -26,6 +26,7 @@ namespace exec {
 namespace {
 
 using smt::CheckResult;
+using smt::CheckStatus;
 using smt::ExprContext;
 using smt::ExprRef;
 using smt::Model;
@@ -161,7 +162,7 @@ TEST(QueryCacheTest, LookupInsertRoundTripWithModel)
     Model model;
     model.Set(0, 42);
 
-    CheckResult result;
+    CheckStatus result;
     EXPECT_FALSE(cache.Lookup(key, fp, /*want_model=*/true, &result,
                               nullptr));
     cache.Insert(key, fp, CheckResult::kSat, /*has_model=*/true, model);
@@ -189,7 +190,7 @@ TEST(QueryCacheTest, KeyCollisionWithDifferentFingerprintsMisses)
 
     cache.Insert(key, fp_a, CheckResult::kSat, /*has_model=*/true,
                  model_a);
-    CheckResult result;
+    CheckStatus result;
     Model out;
     EXPECT_FALSE(cache.Lookup(key, fp_b, /*want_model=*/false, &result,
                               &out));
@@ -214,7 +215,7 @@ TEST(QueryCacheTest, ModelLessEntryUpgradesInPlace)
 
     cache.Insert(key, fp, CheckResult::kSat, /*has_model=*/false,
                  Model());
-    CheckResult result;
+    CheckStatus result;
     ASSERT_TRUE(cache.Lookup(key, fp, /*want_model=*/false, &result,
                              nullptr));
     EXPECT_EQ(result, CheckResult::kSat);

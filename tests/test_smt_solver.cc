@@ -60,10 +60,23 @@ TEST_F(SolverTest, UnsignedRangeConflict)
     ExprRef x = ctx.FreshVar("x", 32);
     ExprRef lt100 = ctx.MakeUlt(x, ctx.MakeConst(32, 100));
     ExprRef ge100 = ctx.MakeUge(x, ctx.MakeConst(32, 100));
-    EXPECT_EQ(solver.CheckSat({lt100, ge100}), CheckResult::kUnsat);
-    // The interval pre-check should have refuted this without SAT.
-    EXPECT_GE(solver.stats().Get("solver.interval_unsat"), 1);
+    // Default config: the refutation comes from the incremental backend
+    // so it carries a core (the interval pre-check would answer the
+    // same but cannot explain itself); no fresh instance is built.
+    const CheckResult r = solver.CheckSat({lt100, ge100});
+    EXPECT_EQ(r, CheckResult::kUnsat);
+    EXPECT_TRUE(r.has_core);
+    EXPECT_EQ(r.core, (std::vector<uint32_t>{0, 1}));
     EXPECT_EQ(solver.stats().Get("solver.sat_calls"), 0);
+
+    // With cores off, the interval pre-check refutes without SAT.
+    SolverConfig config;
+    config.enable_cores = false;
+    Solver nocores(&ctx, config);
+    EXPECT_EQ(nocores.CheckSat({lt100, ge100}), CheckResult::kUnsat);
+    EXPECT_GE(nocores.stats().Get("solver.interval_unsat"), 1);
+    EXPECT_EQ(nocores.stats().Get("solver.sat_calls"), 0);
+    EXPECT_EQ(nocores.stats().Get("solver.incremental_sat_calls"), 0);
 }
 
 TEST_F(SolverTest, EqualityChainPropagation)
