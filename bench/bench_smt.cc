@@ -8,8 +8,9 @@
 // comparison runs on the shared-prefix Trojan-query workload (phase 2's
 // dominant query shape: one pathS prefix, many ¬pathC_i iterated
 // against it) whenever `--compare-incremental` or `--json <path>` is on
-// the command line; its metrics feed the perf-trajectory artifacts CI
-// collects.
+// the command line, and `--trail-reuse` adds the assumption-trail-reuse
+// ablation on the same stream; their metrics feed the perf-trajectory
+// artifacts CI collects.
 
 #include <benchmark/benchmark.h>
 
@@ -254,6 +255,7 @@ struct StreamStats
 {
     int64_t cores_extracted = 0;
     int64_t core_literals = 0;
+    int64_t interval_cores = 0;
 };
 
 /** Run the full query stream; returns seconds. Results are recorded so
@@ -286,8 +288,111 @@ RunTrojanStream(TrojanWorkload *w, bool incremental, bool cores,
             solver.stats().Get("solver.cores_extracted");
         stream_stats->core_literals =
             solver.stats().Get("solver.core_literals");
+        stream_stats->interval_cores =
+            solver.stats().Get("solver.interval_cores");
     }
     return seconds;
+}
+
+/**
+ * The trail-reuse target shape: refutation sweeps against one deep
+ * shared prefix (the regime ROADMAP calls "deep-prefix streams that
+ * miss solution reuse"). A refuting probe misses solution reuse by
+ * definition -- no standing model satisfies it -- so without trail
+ * reuse every query re-establishes all 256 assumption levels; with it,
+ * consecutive probes resume where their sorted assumption vectors
+ * diverge. Probes are swept in structural (canonical assumption) order,
+ * mirroring the explorer's fixed predicate iteration, so each query
+ * keeps the prefix up to the previous probe's position.
+ */
+struct TrailWorkload
+{
+    ExprContext ctx;
+    std::vector<ExprRef> prefix;
+    std::vector<ExprRef> probes;
+};
+
+std::unique_ptr<TrailWorkload>
+MakeTrailWorkload()
+{
+    auto w = std::make_unique<TrailWorkload>();
+    ExprContext &ctx = w->ctx;
+    Rng rng(0x77a11);
+    std::vector<ExprRef> bytes;
+    for (int i = 0; i < 64; ++i)
+        bytes.push_back(ctx.FreshVar("t", 8));
+    for (ExprRef b : bytes) {
+        w->prefix.push_back(ctx.MakeUlt(b, ctx.MakeConst(8, 240)));
+        w->prefix.push_back(ctx.MakeUge(b, ctx.MakeConst(8, 3)));
+        w->prefix.push_back(
+            ctx.MakeNe(b, ctx.MakeConst(8, 5 + rng.Below(230))));
+        w->prefix.push_back(
+            ctx.MakeNe(b, ctx.MakeConst(8, 5 + rng.Below(230))));
+    }
+    // One refuting pin per byte (250 violates the Ult(b, 240) range).
+    for (ExprRef b : bytes)
+        w->probes.push_back(ctx.MakeEq(b, ctx.MakeConst(8, 250)));
+    std::sort(w->probes.begin(), w->probes.end(),
+              [](ExprRef a, ExprRef b) {
+                  return StructuralCompare(a, b) < 0;
+              });
+    return w;
+}
+
+double
+RunProbeStream(TrailWorkload *w, bool trail_reuse,
+               std::vector<CheckStatus> *results, int64_t *trail_reuses)
+{
+    SolverConfig config;
+    config.enable_cache = false;  // isolate the backend, not the memo
+    // Bypass the interval pre-check: with attribution cores it decides
+    // the range-conflict probes outright, and this ablation measures
+    // the SAT trail.
+    config.use_interval_check = false;
+    config.enable_trail_reuse = trail_reuse;
+    Solver solver(&w->ctx, config);
+    results->clear();
+    Timer timer;
+    // Enough sweeps to push the measurement window well past scheduler
+    // jitter: the trend gate watches the on/off ratio.
+    for (int rep = 0; rep < 32; ++rep) {
+        for (ExprRef probe : w->probes)
+            results->push_back(
+                solver.CheckSatAssuming(w->prefix, {probe}).status);
+    }
+    const double seconds = timer.Seconds();
+    if (trail_reuses != nullptr)
+        *trail_reuses = solver.stats().Get("solver.trail_reuses");
+    return seconds;
+}
+
+/** Trail-reuse ablation: the deep-prefix probe stream with
+ *  assumption-prefix trail reuse on vs off. */
+bool
+CompareTrailReuse()
+{
+    bench::Header("Assumption-trail reuse vs full re-establishment "
+                  "(deep-prefix probe stream)");
+    std::unique_ptr<TrailWorkload> w = MakeTrailWorkload();
+    std::vector<CheckStatus> off_results, on_results;
+    int64_t reuses = 0;
+    // Warm once to stabilize allocator state, then measure.
+    RunProbeStream(w.get(), /*trail_reuse=*/false, &off_results, nullptr);
+    const double off_s = RunProbeStream(w.get(), /*trail_reuse=*/false,
+                                        &off_results, nullptr);
+    const double on_s = RunProbeStream(w.get(), /*trail_reuse=*/true,
+                                       &on_results, &reuses);
+    const bool agree = off_results == on_results;
+
+    bench::Metric("smt.no_trail_reuse_seconds", off_s, "s");
+    bench::Metric("smt.trail_reuse_seconds", on_s, "s");
+    bench::Metric("smt.trail_reuse_speedup",
+                  on_s > 0 ? off_s / on_s : 0.0, "x");
+    bench::Metric("smt.trail_reuses", static_cast<double>(reuses));
+    bench::Metric("smt.trail_results_identical", agree ? 1 : 0);
+    if (!agree)
+        std::printf("  ERROR: trail-reuse verdicts diverged\n");
+    return agree;
 }
 
 bool
@@ -324,8 +429,13 @@ CompareIncrementalVsFresh(bool with_cores)
         agree &= fresh_results == core_results;
         const double overhead =
             nocores_s > 0 ? 100.0 * (inc_s - nocores_s) / nocores_s : 0.0;
+        // Interval attribution answers this stream's range-conflict
+        // refutations before the SAT backend, so most cores are
+        // interval bound-pairs; both kinds are counted.
         bench::Metric("smt.cores_extracted",
                       static_cast<double>(stream_stats.cores_extracted));
+        bench::Metric("smt.interval_cores",
+                      static_cast<double>(stream_stats.interval_cores));
         bench::Metric("smt.mean_core_size",
                       stream_stats.cores_extracted > 0
                           ? static_cast<double>(stream_stats.core_literals) /
@@ -351,6 +461,7 @@ main(int argc, char **argv)
     bench::ParseBenchArgs(argc, argv);
     bool compare = false;
     bool with_cores = true;
+    bool trail_reuse = false;
     // Strip harness-only flags before handing argv to Google Benchmark.
     std::vector<char *> gbench_argv{argv[0]};
     for (int i = 1; i < argc; ++i) {
@@ -363,13 +474,16 @@ main(int argc, char **argv)
             compare = true;
         } else if (std::strcmp(argv[i], "--no-cores") == 0) {
             with_cores = false;
+        } else if (std::strcmp(argv[i], "--trail-reuse") == 0) {
+            trail_reuse = true;
         } else {
             gbench_argv.push_back(argv[i]);
         }
     }
     // A verdict divergence must fail the process (CI gates on it).
-    const bool agree =
-        compare ? CompareIncrementalVsFresh(with_cores) : true;
+    bool agree = compare ? CompareIncrementalVsFresh(with_cores) : true;
+    if (trail_reuse)
+        agree &= CompareTrailReuse();
 
     int gbench_argc = static_cast<int>(gbench_argv.size());
     benchmark::Initialize(&gbench_argc, gbench_argv.data());

@@ -8,13 +8,18 @@ main, and fails on a >threshold relative drop in any watched
 higher-is-better metric:
 
   * smt.incremental_speedup
-  * parallel.speedup/workers=N   (every N present in BOTH sweeps)
+  * smt.trail_reuse_speedup
+  * parallel.speedup/workers=N                 (N in BOTH sweeps)
+  * parallel.clause_exchange_speedup/workers=N (N in BOTH sweeps)
+  * fig11.core_query_reduction_pct/<section>/workers=N
 
-Sweep matching: a parallel.speedup point is only compared when both
+Sweep matching: a per-worker parallel metric is only compared when both
 record sets carry its `parallel.swept/workers=N` marker (bench_parallel
 emits one per worker count actually run), so a truncated or widened
 sweep never produces a bogus comparison. Baselines that predate the
-markers fall back to metric presence.
+markers fall back to metric presence. Metrics absent from the baseline
+(e.g. fig11.* before the artifact accumulated, or the ablations added
+later) are reported one-sided and skipped -- warn-only by construction.
 
 Exit codes: 0 ok / nothing to compare (first run, forks), 1 regression
 (suppressed by --warn-only), 2 usage error.
@@ -28,9 +33,16 @@ import sys
 
 WATCHED_PATTERNS = [
     "smt.incremental_speedup",
+    "smt.trail_reuse_speedup",
     "parallel.speedup/workers=*",
+    "parallel.clause_exchange_speedup/workers=*",
+    "fig11.core_query_reduction_pct/*",
 ]
-SWEEP_METRIC_PREFIX = "parallel.speedup/workers="
+# Per-worker metrics gated on the sweep markers both record sets carry.
+SWEEP_METRIC_PREFIXES = (
+    "parallel.speedup/workers=",
+    "parallel.clause_exchange_speedup/workers=",
+)
 SWEEP_MARKER_PREFIX = "parallel.swept/workers="
 
 
@@ -63,9 +75,11 @@ def swept_workers(records):
 
 def comparable(metric, current, baseline):
     """Apply the sweep-intersection rule for per-worker metrics."""
-    if not metric.startswith(SWEEP_METRIC_PREFIX):
+    prefix = next(
+        (p for p in SWEEP_METRIC_PREFIXES if metric.startswith(p)), None)
+    if prefix is None:
         return True
-    workers = metric[len(SWEEP_METRIC_PREFIX):]
+    workers = metric[len(prefix):]
     for records in (current, baseline):
         swept = swept_workers(records)
         if swept is not None and workers not in swept:

@@ -36,9 +36,11 @@ ConfirmWitnesses(smt::ExprContext *ctx, smt::Solver *solver,
     // of p's constraints plus pinned-byte equalities, and every witness
     // agreeing on those bytes builds the identical (interned) pin
     // expressions, so containment proves the next check UNSAT without
-    // a solver call.
+    // a solver call. Cores are only consumed on unbudgeted solvers:
+    // under a flat or stream-level conflict budget the solver can
+    // answer kUnknown and never produces cores in the first place.
     const bool cores_usable = solver->config().enable_cores &&
-                              solver->config().max_conflicts < 0;
+                              solver->config().unbudgeted();
     std::vector<std::vector<std::vector<smt::ExprRef>>> cores_by_path(
         pc.paths.size());
     static constexpr size_t kCoresPerPath = 8;
@@ -47,12 +49,22 @@ ConfirmWitnesses(smt::ExprContext *ctx, smt::Solver *solver,
         bool producible = false;
         for (size_t p = 0; p < pc.paths.size() && !producible; ++p) {
             const ClientPathPredicate &pred = pc.paths[p];
+            // Path constraints as the base, pinned-byte equalities as
+            // the extras: every witness re-asserts the same base, which
+            // the incremental backend turns into assumption flips over
+            // already-blasted CNF with the common trail prefix kept,
+            // and stream-budgeted solvers spread their conflict budget
+            // over the whole per-path stream. `query` is the base ∥
+            // extras concatenation CheckSatAssuming indexes cores into.
             std::vector<smt::ExprRef> query = pred.constraints;
+            std::vector<smt::ExprRef> pins;
+            pins.reserve(analyzed.size());
             for (uint32_t off : analyzed) {
-                query.push_back(ctx->MakeEq(
+                pins.push_back(ctx->MakeEq(
                     pred.bytes[off],
                     ctx->MakeConst(8, witness.concrete[off])));
             }
+            query.insert(query.end(), pins.begin(), pins.end());
             if (cores_usable) {
                 bool subsumed = false;
                 for (const std::vector<smt::ExprRef> &core :
@@ -68,7 +80,8 @@ ConfirmWitnesses(smt::ExprContext *ctx, smt::Solver *solver,
                 }
             }
             ++result.solver_queries;
-            const smt::CheckResult r = solver->CheckSat(query);
+            const smt::CheckResult r =
+                solver->CheckSatAssuming(pred.constraints, pins);
             if (r == smt::CheckResult::kSat) {
                 producible = true;
             } else if (cores_usable && r == smt::CheckResult::kUnsat &&

@@ -233,14 +233,14 @@ ServerExplorer::PredicateMatches(Plane &plane, const symexec::State &state,
 bool
 ServerExplorer::CoresUsable(const Plane &plane) const
 {
-    // Budgeted solvers can answer kUnknown; nothing may be dropped or
-    // subsumed off a core then (the no-drop-on-kUnknown contract), so
-    // core consumption is reserved for unbudgeted configurations where
-    // every core-guided decision coincides with a kUnsat the solver
-    // would have produced.
+    // Budgeted solvers -- flat max_conflicts or stream-level budgets --
+    // can answer kUnknown; nothing may be dropped or subsumed off a
+    // core then (the no-drop-on-kUnknown contract), so core consumption
+    // is reserved for unbudgeted configurations where every core-guided
+    // decision coincides with a kUnsat the solver would have produced.
     return config_.use_unsat_cores &&
            plane.solver->config().enable_cores &&
-           plane.solver->config().max_conflicts < 0;
+           plane.solver->config().unbudgeted();
 }
 
 void

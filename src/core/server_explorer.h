@@ -69,8 +69,9 @@ struct ServerExplorerConfig
      * with the core's field instead of the branch constraint's), so
      * live sets -- and therefore witness sets -- are bitwise identical
      * with the toggle on or off. Never consulted when the solver runs
-     * budgeted queries (max_conflicts >= 0): a budget can answer
-     * kUnknown, and nothing may be dropped on kUnknown.
+     * budgeted queries (flat max_conflicts >= 0 or stream-level
+     * budgets): a budget can answer kUnknown, and nothing may be
+     * dropped on kUnknown.
      */
     bool use_unsat_cores = true;
 };

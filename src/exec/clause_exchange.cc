@@ -1,0 +1,83 @@
+// Achilles reproduction -- parallel exploration subsystem.
+
+#include "exec/clause_exchange.h"
+
+namespace achilles {
+namespace exec {
+
+ClauseExchange::ClauseExchange(size_t shards)
+{
+    if (shards == 0)
+        shards = 1;
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+ClauseExchange::Shard &
+ClauseExchange::ShardFor(const Lemma &lemma)
+{
+    const uint64_t key = lemma.empty() ? 0 : lemma.front().first;
+    return *shards_[static_cast<size_t>(key) % shards_.size()];
+}
+
+void
+ClauseExchange::Publish(size_t publisher, const Lemma &lemma)
+{
+    if (lemma.empty())
+        return;
+    Shard &shard = ShardFor(lemma);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!shard.dedup.insert(lemma).second) {
+        duplicates_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    shard.log.push_back(Entry{lemma, publisher});
+    published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t
+ClauseExchange::Fetch(size_t consumer, Cursor *cursor,
+                      std::vector<Lemma> *out)
+{
+    cursor->next.resize(shards_.size(), 0);
+    size_t appended = 0;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        Shard &shard = *shards_[i];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (size_t k = cursor->next[i]; k < shard.log.size(); ++k) {
+            const Entry &entry = shard.log[k];
+            if (entry.publisher == consumer)
+                continue;  // the consumer already owns its own lemmas
+            out->push_back(entry.lemma);
+            ++appended;
+        }
+        cursor->next[i] = shard.log.size();
+    }
+    fetched_.fetch_add(static_cast<int64_t>(appended),
+                       std::memory_order_relaxed);
+    return appended;
+}
+
+size_t
+ClauseExchange::size() const
+{
+    size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->log.size();
+    }
+    return total;
+}
+
+void
+ClauseExchange::ExportStats(StatsRegistry *stats) const
+{
+    stats->Bump("exec.lemmas_published", published());
+    stats->Bump("exec.lemmas_deduped", duplicates());
+    stats->Bump("exec.lemmas_fetched", fetched());
+    stats->Set("exec.lemma_pool_entries", static_cast<int64_t>(size()));
+}
+
+}  // namespace exec
+}  // namespace achilles

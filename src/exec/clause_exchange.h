@@ -1,0 +1,163 @@
+// Achilles reproduction -- parallel exploration subsystem.
+//
+// Cross-worker learned-clause exchange. Each worker's incremental SMT
+// backend learns short refutation lemmas -- "these guarded assertions
+// are jointly unsatisfiable" -- over id-aligned CNF for the shared
+// variable prefix; without sharing, every sibling re-derives the same
+// refutations from scratch. This pool lets one worker's refutations
+// prune the others' searches: lemmas travel as the context-independent
+// structural fingerprints of the implicated expressions (the same
+// translation currency as exec/expr_transfer and the shared query
+// cache), so a consumer re-anchors them to its own activation literals
+// without any expression bridging.
+//
+// Sharding mirrors exec/query_cache: lemmas are distributed over
+// independent lock-striped shards keyed by their first fingerprint, and
+// each shard keeps an append-only log plus a dedup set. Consumers poll
+// with a per-consumer cursor (one position per shard), so a fetch hands
+// out exactly the lemmas published since the consumer's previous fetch,
+// skipping its own publications.
+//
+// Soundness: every lemma is implied by the semantics of the expressions
+// it names, so importing one can never flip a verdict -- it only steers
+// CDCL to the refutation faster. Witness determinism is untouched
+// because models are always produced by the exchange-free
+// fresh-instance path (see smt/solver.h).
+
+#ifndef ACHILLES_EXEC_CLAUSE_EXCHANGE_H_
+#define ACHILLES_EXEC_CLAUSE_EXCHANGE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "smt/solver.h"
+#include "support/stats.h"
+
+namespace achilles {
+namespace exec {
+
+/** A lemma as it travels: sorted fingerprints of the guarded
+ *  expressions whose conjunction is unsatisfiable (1 or 2 entries --
+ *  the SAT layer only exports units and binaries). */
+using Lemma = std::vector<smt::LemmaFingerprint>;
+
+/**
+ * The shared lock-striped lemma pool. Thread-safe; one instance per
+ * parallel run, shared by every worker's ClauseChannel.
+ */
+class ClauseExchange
+{
+  public:
+    explicit ClauseExchange(size_t shards = 16);
+    ClauseExchange(const ClauseExchange &) = delete;
+    ClauseExchange &operator=(const ClauseExchange &) = delete;
+
+    /** Publish a lemma (idempotent: duplicates are dropped).
+     *  `publisher` identifies the worker so its own fetches skip it. */
+    void Publish(size_t publisher, const Lemma &lemma);
+
+    /** Per-consumer fetch position, one entry per shard. */
+    struct Cursor
+    {
+        std::vector<size_t> next;
+    };
+
+    /** Append every lemma published since `cursor` by a worker other
+     *  than `consumer`; advances the cursor. Returns the count. */
+    size_t Fetch(size_t consumer, Cursor *cursor, std::vector<Lemma> *out);
+
+    /** Distinct lemmas currently pooled. */
+    size_t size() const;
+
+    int64_t published() const
+    {
+        return published_.load(std::memory_order_relaxed);
+    }
+    int64_t duplicates() const
+    {
+        return duplicates_.load(std::memory_order_relaxed);
+    }
+    int64_t fetched() const
+    {
+        return fetched_.load(std::memory_order_relaxed);
+    }
+
+    /** Export counters ("exec.lemmas_published" et al.). */
+    void ExportStats(StatsRegistry *stats) const;
+
+  private:
+    struct LemmaHash
+    {
+        size_t
+        operator()(const Lemma &lemma) const
+        {
+            uint64_t h = 0xcbf29ce484222325ull;
+            for (const smt::LemmaFingerprint &fp : lemma) {
+                h = (h ^ fp.first) * 0x100000001b3ull;
+                h = (h ^ fp.second) * 0x100000001b3ull;
+            }
+            return static_cast<size_t>(h);
+        }
+    };
+    struct Entry
+    {
+        Lemma lemma;
+        size_t publisher;
+    };
+    struct Shard
+    {
+        std::mutex mutex;
+        std::vector<Entry> log;
+        std::unordered_set<Lemma, LemmaHash> dedup;
+    };
+
+    Shard &ShardFor(const Lemma &lemma);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<int64_t> published_{0};
+    std::atomic<int64_t> duplicates_{0};
+    std::atomic<int64_t> fetched_{0};
+};
+
+/**
+ * Per-worker adapter wiring a worker's private Solver to the shared
+ * pool: the solver publishes through the ClauseSink face and imports
+ * through the ClauseSource face, with this channel owning the worker's
+ * fetch cursor. One channel per worker; the channel itself is only
+ * touched from that worker's thread (the pool handles cross-thread
+ * synchronization).
+ */
+class ClauseChannel : public smt::ClauseSink, public smt::ClauseSource
+{
+  public:
+    ClauseChannel(ClauseExchange *pool, size_t worker_id)
+        : pool_(pool), worker_id_(worker_id)
+    {
+    }
+
+    void
+    PublishLemma(const std::vector<smt::LemmaFingerprint> &lemma) override
+    {
+        pool_->Publish(worker_id_, lemma);
+    }
+
+    void
+    FetchLemmas(std::vector<std::vector<smt::LemmaFingerprint>> *out)
+        override
+    {
+        pool_->Fetch(worker_id_, &cursor_, out);
+    }
+
+  private:
+    ClauseExchange *pool_;
+    size_t worker_id_;
+    ClauseExchange::Cursor cursor_;
+};
+
+}  // namespace exec
+}  // namespace achilles
+
+#endif  // ACHILLES_EXEC_CLAUSE_EXCHANGE_H_

@@ -215,8 +215,7 @@ CachedSolver::CheckShared(const std::vector<smt::ExprRef> &base,
     // hit either.
     const bool core_path = model == nullptr &&
                            config().enable_incremental &&
-                           config().max_conflicts < 0 &&
-                           config().enable_cores;
+                           config().unbudgeted() && config().enable_cores;
 
     smt::CheckStatus status;
     bool has_core = false;

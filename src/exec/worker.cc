@@ -38,6 +38,14 @@ ParallelEngine::Run()
     // use the shared cache (worker-local variable ids are ambiguous).
     const uint32_t shared_var_limit = home_->NumVars();
     cache_ = std::make_unique<QueryCache>();
+    // The learned-clause exchange shares one worker's short refutation
+    // lemmas with its siblings. Only meaningful with siblings to share
+    // with, and only wired when the incremental backends that produce
+    // the lemmas are on.
+    if (n > 1 && solver_config_.share_learned_clauses &&
+        solver_config_.enable_incremental) {
+        clause_exchange_ = std::make_unique<ClauseExchange>();
+    }
 
     SchedulerConfig sched_config;
     sched_config.num_workers = n;
@@ -59,8 +67,18 @@ ParallelEngine::Run()
         wc->bridge =
             std::make_unique<ExprBridge>(home_, &wc->ctx, &home_mutex_);
         wc->bridge->MirrorHomeVars();
+        smt::SolverConfig worker_config = solver_config_;
+        if (clause_exchange_) {
+            wc->clause_channel = std::make_unique<ClauseChannel>(
+                clause_exchange_.get(), i);
+            worker_config.clause_sink = wc->clause_channel.get();
+            worker_config.clause_source = wc->clause_channel.get();
+            // Lemmas may only name assertions over the id-aligned
+            // prefix -- the same portability rule as the query cache.
+            worker_config.clause_share_var_limit = shared_var_limit;
+        }
         wc->solver = std::make_unique<CachedSolver>(
-            &wc->ctx, cache_.get(), shared_var_limit, solver_config_);
+            &wc->ctx, cache_.get(), shared_var_limit, worker_config);
         wc->engine = std::make_unique<symexec::Engine>(
             &wc->ctx, wc->solver.get(), program_, mode_, engine_config);
         wc->engine->SetFinalizeGate([this] {
@@ -117,6 +135,8 @@ ParallelEngine::Run()
                      });
     scheduler_->ExportStats(&stats_);
     cache_->ExportStats(&stats_);
+    if (clause_exchange_)
+        clause_exchange_->ExportStats(&stats_);
     stats_.Set("exec.workers", static_cast<int64_t>(n));
     return results;
 }

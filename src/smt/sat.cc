@@ -27,6 +27,7 @@ SatSolver::NewVar()
     level_.push_back(0);
     reason_.push_back(kNoClause);
     seen_.push_back(0);
+    var_shared_.push_back(0);
     watches_.emplace_back();
     watches_.emplace_back();
     heap_pos_.push_back(-1);
@@ -376,6 +377,8 @@ SatSolver::BacktrackTo(uint32_t target_level)
     trail_.resize(bound);
     trail_lim_.resize(target_level);
     qhead_ = trail_.size();
+    if (assumption_trail_.size() > target_level)
+        assumption_trail_.resize(target_level);
 }
 
 Lit
@@ -584,19 +587,70 @@ SatSolver::MinimizeCore()
     core_ = std::move(work);
 }
 
+bool
+SatSolver::AllVarsShared(const std::vector<Lit> &lits) const
+{
+    for (Lit l : lits) {
+        if (l.var() >= var_shared_.size() || !var_shared_[l.var()])
+            return false;
+    }
+    return true;
+}
+
+void
+SatSolver::MaybeExportLearnt(const std::vector<Lit> &learnt)
+{
+    if (!export_hook_ || learnt.empty() || learnt.size() > kExportMaxLits ||
+        !AllVarsShared(learnt)) {
+        return;
+    }
+    stats_.Bump("sat.clauses_exported");
+    export_hook_(learnt);
+}
+
+void
+SatSolver::MaybeExportCore()
+{
+    // A core over shared assumption guards is the same implied clause a
+    // learnt all-guard clause would be: the disjunction of the negated
+    // core literals. Exporting it shares exactly the "pathS ∧ ¬pathC_i"
+    // refutations sibling workers re-derive from scratch.
+    if (!export_hook_ || core_.empty() || core_.size() > kExportMaxLits ||
+        !AllVarsShared(core_)) {
+        return;
+    }
+    std::vector<Lit> clause;
+    clause.reserve(core_.size());
+    for (Lit l : core_)
+        clause.push_back(~l);
+    stats_.Bump("sat.cores_exported");
+    export_hook_(clause);
+}
+
 SatStatus
 SatSolver::Solve(const std::vector<Lit> &assumptions, int64_t max_conflicts)
 {
     if (!ok_) {
         core_.clear();
+        last_solve_conflicts_ = 0;
         return SatStatus::kUnsat;
     }
     stats_.Bump("sat.solve_calls");
+    const int64_t conflicts_before = stats_.Get("sat.conflicts");
     const SatStatus status = Search(assumptions, max_conflicts);
-    if (status == SatStatus::kUnsat && minimize_core_ && core_.size() > 1 &&
+    // Cores of at most two literals skip the deletion loop: a
+    // conflicting pair is already minimal unless one member is
+    // individually refutable, which the propagation-level probes almost
+    // never exhibit -- and the probes' root backtracking would destroy
+    // the assumption prefix the next query wants to reuse. The reported
+    // core stays conservative (never too small), as documented.
+    if (status == SatStatus::kUnsat && minimize_core_ && core_.size() > 2 &&
         max_conflicts < 0) {
         MinimizeCore();
     }
+    if (status == SatStatus::kUnsat)
+        MaybeExportCore();
+    last_solve_conflicts_ = stats_.Get("sat.conflicts") - conflicts_before;
     return status;
 }
 
@@ -633,12 +687,32 @@ SatSolver::Search(const std::vector<Lit> &assumptions, int64_t max_conflicts,
         }
     }
 
-    BacktrackTo(0);
+    // Assumption-prefix trail reuse: keep the trail segment of the
+    // longest common prefix between the standing assumption levels and
+    // this call's assumptions. The kept levels are fully propagated and
+    // conflict-free against the unchanged clause store (every exit path
+    // that leaves levels standing guarantees it; AddClause resets to
+    // the root), so re-establishment starts where the streams diverge.
+    uint32_t keep_level = 0;
+    if (trail_reuse_) {
+        const size_t limit =
+            std::min(assumptions.size(), assumption_trail_.size());
+        while (keep_level < limit &&
+               assumption_trail_[keep_level] == assumptions[keep_level]) {
+            ++keep_level;
+        }
+    }
+    if (keep_level > 0) {
+        stats_.Bump("sat.trail_reuses");
+        stats_.Bump("sat.trail_levels_reused", keep_level);
+    }
+    BacktrackTo(keep_level);
     if (learnt_cap_ <= 0) {
         learnt_cap_ = std::max<int64_t>(
             4000, static_cast<int64_t>(clauses_.size()) / 3);
     }
     if (static_cast<int64_t>(learnts_.size()) >= learnt_cap_) {
+        BacktrackTo(0);  // ReduceDB runs off the root level
         ReduceDB();
         learnt_cap_ += learnt_cap_ / 10;
     }
@@ -660,15 +734,19 @@ SatSolver::Search(const std::vector<Lit> &assumptions, int64_t max_conflicts,
             if (DecisionLevel() <= assumptions.size()) {
                 // Conflict depends only on assumptions: UNSAT under
                 // them. Record which (analyze-final over the
-                // implication graph, before the trail unwinds).
+                // implication graph, before the trail unwinds). The
+                // conflicting level's propagation is poisoned, but the
+                // levels below it are established and conflict-free:
+                // keep them for the next query's prefix reuse.
                 AnalyzeFinalConflict(conflict);
                 SortCore(assumptions);
-                BacktrackTo(0);
+                BacktrackTo(trail_reuse_ ? DecisionLevel() - 1 : 0);
                 return SatStatus::kUnsat;
             }
             std::vector<Lit> learnt;
             uint32_t btlevel = 0;
             Analyze(conflict, &learnt, &btlevel);
+            MaybeExportLearnt(learnt);
             // Never backjump into the middle of the assumption prefix
             // without re-checking it; jumping to the assumption boundary
             // is always safe.
@@ -692,7 +770,14 @@ SatSolver::Search(const std::vector<Lit> &assumptions, int64_t max_conflicts,
             DecayVarActivity();
             DecayClauseActivity();
             if (max_conflicts >= 0 && conflicts >= max_conflicts) {
-                BacktrackTo(0);
+                // Unwind the search decisions but keep any standing
+                // assumption prefix (assumption_trail_ is trimmed by
+                // every backtrack, so its size is the deepest level
+                // that is still an established assumption).
+                BacktrackTo(trail_reuse_
+                                ? static_cast<uint32_t>(
+                                      assumption_trail_.size())
+                                : 0);
                 core_.clear();
                 stats_.Bump("sat.budget_exhausted");
                 return SatStatus::kUnknown;
@@ -718,13 +803,19 @@ SatSolver::Search(const std::vector<Lit> &assumptions, int64_t max_conflicts,
             const LBool v = LitValue(p);
             if (v == LBool::kTrue) {
                 NewDecisionLevel();  // dummy level keeps indexing aligned
+                assumption_trail_.push_back(p);
             } else if (v == LBool::kFalse) {
                 AnalyzeFinalLit(p);
                 SortCore(assumptions);
-                BacktrackTo(0);
+                // The standing levels are conflict-free (p was refuted
+                // by their propagation closure, before its own level
+                // existed); keep them for prefix reuse.
+                if (!trail_reuse_)
+                    BacktrackTo(0);
                 return SatStatus::kUnsat;
             } else {
                 NewDecisionLevel();
+                assumption_trail_.push_back(p);
                 Enqueue(p, kNoClause);
             }
             continue;
@@ -733,8 +824,10 @@ SatSolver::Search(const std::vector<Lit> &assumptions, int64_t max_conflicts,
         if (refute_only) {
             // Assumptions established and propagation is conflict-free:
             // a refutation by propagation is off the table, which is
-            // all a minimization probe wants to know.
-            BacktrackTo(0);
+            // all a minimization probe wants to know. The established
+            // levels stay standing for the next probe's prefix reuse.
+            if (!trail_reuse_)
+                BacktrackTo(0);
             core_.clear();
             return SatStatus::kUnknown;
         }

@@ -9,6 +9,7 @@
 #define ACHILLES_SMT_SAT_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "support/logging.h"
@@ -91,16 +92,83 @@ class SatSolver
      * caller's assumption vector. Valid until the next Solve. An empty
      * core on kUnsat means the clause set is unsatisfiable regardless
      * of assumptions. With SetMinimizeCore(true), unbudgeted kUnsat
-     * answers additionally run a deletion-based minimization loop:
-     * each member is dropped in turn and the remainder re-probed
-     * (refute-only, so a probe is one propagation pass), rescanning
-     * until a fixpoint. The result is minimal with respect to
-     * propagation-level refutations -- exact on the conflicting-pair
-     * cores the explorer feeds on, conservative (never too small) in
-     * general.
+     * answers with more than two core members additionally run a
+     * deletion-based minimization loop: each member is dropped in turn
+     * and the remainder re-probed (refute-only, so a probe is one
+     * propagation pass), rescanning until a fixpoint. One- and
+     * two-member cores skip the loop -- a conflicting pair is already
+     * minimal unless a member is individually refutable, and the
+     * probes' root backtracking would churn the assumption trail the
+     * next query reuses. The result is conservative (never too small)
+     * in general.
      */
     const std::vector<Lit> &unsat_core() const { return core_; }
     void SetMinimizeCore(bool on) { minimize_core_ = on; }
+
+    /**
+     * Assumption-prefix trail reuse (on by default). Consecutive Solve
+     * calls keep the trail segment of the longest common assumption
+     * prefix -- MiniSat-style scoped assumption levels -- instead of
+     * backtracking to the root and re-propagating every assumption from
+     * scratch. Shaves the per-query linear re-establishment term for
+     * deep-prefix query streams; never changes verdicts (the kept
+     * segment is exactly the propagation closure the fresh
+     * re-establishment would recompute).
+     */
+    void SetTrailReuse(bool on) { trail_reuse_ = on; }
+
+    /** Conflicts spent by the most recent Solve call, including any
+     *  core-minimization probes (per-Solve accounting; stream-level
+     *  conflict budgets settle their carry-forward against this). */
+    int64_t last_solve_conflicts() const { return last_solve_conflicts_; }
+
+    // -- Learned-clause exchange hooks --------------------------------
+    //
+    // A learnt clause whose literals are all negated assumption guards
+    // is a solver-independent refutation lemma ("these guarded
+    // assertions are jointly unsatisfiable"); sibling solvers over the
+    // same shared-variable prefix can import it and prune their own
+    // searches. The SAT layer exports such clauses through a hook and
+    // leaves the guard-to-expression mapping to the facade.
+
+    /** Maximum exported clause size: units and binaries only (larger
+     *  lemmas rarely transfer and bloat the exchange). */
+    static constexpr uint32_t kExportMaxLits = 2;
+
+    /** Mark a variable as belonging to the designated shared prefix:
+     *  only clauses over shared variables are ever exported. */
+    void
+    SetVarShared(uint32_t var, bool shared)
+    {
+        ACHILLES_CHECK(var < NumVars());
+        var_shared_[var] = shared ? 1 : 0;
+    }
+
+    /**
+     * Install the export hook: invoked with every learnt clause of at
+     * most kExportMaxLits literals whose variables are all marked
+     * shared, and with every final unsat core of that size over shared
+     * variables (as the negated core literals -- the same implied
+     * clause). The hook runs inside Solve; it must not call back into
+     * this solver.
+     */
+    void
+    SetLearntExportHook(std::function<void(const std::vector<Lit> &)> hook)
+    {
+        export_hook_ = std::move(hook);
+    }
+
+    /**
+     * Add a clause learned by a sibling solver (an implied clause, so
+     * adding it never changes verdicts). Same normalization as
+     * AddClause; resets any kept assumption trail.
+     */
+    bool
+    ImportClause(std::vector<Lit> lits)
+    {
+        stats_.Bump("sat.clauses_imported");
+        return AddClause(std::move(lits));
+    }
 
     /** Model value of a variable (valid after kSat). */
     bool
@@ -162,6 +230,9 @@ class SatSolver
     void CollectCoreFromSeen();
     void SortCore(const std::vector<Lit> &assumptions);
     void MinimizeCore();
+    bool AllVarsShared(const std::vector<Lit> &lits) const;
+    void MaybeExportLearnt(const std::vector<Lit> &learnt);
+    void MaybeExportCore();
     void NewDecisionLevel() { trail_lim_.push_back(trail_.size()); }
     uint32_t DecisionLevel() const
     {
@@ -237,7 +308,15 @@ class SatSolver
     int64_t learnt_cap_ = 0;  // 0 = auto-size on next Solve
     bool ok_ = true;
     bool minimize_core_ = false;
+    bool trail_reuse_ = true;
+    int64_t last_solve_conflicts_ = 0;
     std::vector<Lit> core_;
+    /** The assumption literal established at each standing decision
+     *  level (levels beyond its size are search decisions). The next
+     *  Search keeps the longest prefix matching its own assumptions. */
+    std::vector<Lit> assumption_trail_;
+    std::vector<uint8_t> var_shared_;
+    std::function<void(const std::vector<Lit> &)> export_hook_;
 
     // Conflict analysis scratch.
     std::vector<uint8_t> seen_;

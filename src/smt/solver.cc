@@ -26,18 +26,39 @@ CheckResultName(CheckStatus s)
  * The persistent solving stack behind model-less queries: one SAT
  * instance accumulating the CNF of every expression node ever asserted,
  * one activation literal per assertion, learned clauses retained across
- * queries (ReduceDB-capped inside SatSolver).
+ * queries (ReduceDB-capped inside SatSolver), plus the guard registries
+ * the cross-solver lemma exchange anchors on (fingerprint -> guarded
+ * expression for imports, activation variable -> expression for
+ * exports).
  */
 struct Solver::IncrementalBackend
 {
+    struct FpHash
+    {
+        size_t
+        operator()(const LemmaFingerprint &fp) const
+        {
+            return static_cast<size_t>(
+                fp.first ^ (fp.second * 0x9e3779b97f4a7c15ull));
+        }
+    };
+
     SatSolver sat;
     BitBlaster blaster;
+    /** Every expression that ever got an activation literal here. */
+    std::unordered_set<ExprRef> guarded;
+    /** Import anchor: fingerprint -> guarded expression (first wins on
+     *  the astronomically unlikely 128-bit collision). */
+    std::unordered_map<LemmaFingerprint, ExprRef, FpHash> guarded_by_fp;
+    /** Export anchor: activation variable -> guarded expression. */
+    std::unordered_map<uint32_t, ExprRef> expr_by_guard_var;
 
     IncrementalBackend() : blaster(&sat) {}
 };
 
 Solver::Solver(ExprContext *ctx, SolverConfig config)
-    : ctx_(ctx), config_(config)
+    : ctx_(ctx), config_(config),
+      stream_base_(static_cast<double>(config.stream_budget.base))
 {
 }
 
@@ -143,11 +164,12 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
     // Cores only accompany answers the model-less, unbudgeted
     // incremental path could have produced -- including the trivial
     // ones, so has_core remains a reliable proxy for "decided on the
-    // core-producing path" (budgeted and model-producing queries are
-    // always core-less, per the CheckResult contract).
+    // core-producing path" (budgeted -- flat or stream -- and
+    // model-producing queries are always core-less, per the
+    // CheckResult contract).
     const bool incremental_path = model == nullptr &&
                                   config_.enable_incremental &&
-                                  config_.max_conflicts < 0;
+                                  config_.unbudgeted();
     const bool core_path = incremental_path && config_.enable_cores;
 
     std::vector<ExprRef> live;
@@ -206,16 +228,33 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
         }
     }
 
-    // On the core-producing path the interval pre-check is skipped so
-    // refutations come with a core. The backend decides
-    // interval-refutable queries in a few conflicts over
-    // already-memoized CNF, so this trades a cheap pass for a cheap
-    // solve plus an explanation every consumer downstream can drop
-    // predicates with.
-    if (config_.use_interval_check && !core_path &&
-        upgrade_entry == nullptr) {
+    // Interval pre-check. On the core-producing path it runs in
+    // attribution mode: the checker names the assertions that narrowed
+    // the refuting interval (seed atoms map 1:1 to assertions), so
+    // interval-refutable queries keep both the fast path and the core
+    // every consumer downstream drops predicates with. (PR 3 used to
+    // skip the pre-check here because the checker could prove but not
+    // explain.)
+    if (config_.use_interval_check && upgrade_entry == nullptr) {
         IntervalChecker checker(ctx_);
-        if (checker.DefinitelyUnsat(live)) {
+        if (core_path) {
+            std::vector<uint32_t> interval_core;
+            if (checker.DefinitelyUnsatWithCore(live, &interval_core)) {
+                stats_.Bump("solver.interval_unsat");
+                stats_.Bump("solver.interval_cores");
+                if (config_.enable_cache) {
+                    cache_.emplace(
+                        live, CacheEntry{CheckStatus::kUnsat,
+                                         /*has_model=*/true, Model(),
+                                         /*has_core=*/true,
+                                         interval_core});
+                }
+                CheckResult result(CheckStatus::kUnsat);
+                result.has_core = true;
+                result.core = core_to_caller(interval_core);
+                return result;
+            }
+        } else if (checker.DefinitelyUnsat(live)) {
             stats_.Bump("solver.interval_unsat");
             if (config_.enable_cache) {
                 cache_.emplace(live,
@@ -225,7 +264,7 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
             }
             if (model)
                 *model = Model();
-            // The interval checker proves, but does not explain: no core.
+            // Proof without attribution: no core on this arm.
             return CheckStatus::kUnsat;
         }
     }
@@ -272,6 +311,38 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
     return result;
 }
 
+int64_t
+Solver::NextConflictBudget() const
+{
+    const StreamBudget &sb = config_.stream_budget;
+    if (!sb.enabled())
+        return config_.max_conflicts;
+    const int64_t base =
+        std::max(sb.floor, static_cast<int64_t>(stream_base_));
+    return base + stream_carry_;
+}
+
+void
+Solver::SettleStreamBudget(int64_t budget, int64_t spent, bool decided)
+{
+    const StreamBudget &sb = config_.stream_budget;
+    stats_.Bump("solver.stream_budgeted_solves");
+    stats_.Bump("solver.stream_conflicts_spent", spent);
+    // Decided queries roll a fraction of their unspent conflicts into
+    // the next query's allowance; exhausted (kUnknown) queries forfeit
+    // theirs, so a pathological query cannot inflate the stream.
+    int64_t carried = 0;
+    if (decided && spent < budget) {
+        carried = static_cast<int64_t>(
+            static_cast<double>(budget - spent) * sb.carry);
+    }
+    if (sb.carry_cap >= 0)
+        carried = std::min(carried, sb.carry_cap);
+    stream_carry_ = carried;
+    stream_base_ = std::max(static_cast<double>(sb.floor),
+                            stream_base_ * sb.decay);
+}
+
 CheckStatus
 Solver::SolveFresh(const std::vector<ExprRef> &live, Model *out_model)
 {
@@ -280,7 +351,12 @@ Solver::SolveFresh(const std::vector<ExprRef> &live, Model *out_model)
     BitBlaster blaster(&sat);
     for (ExprRef e : live)
         blaster.AssertTrue(e);
-    const SatStatus status = sat.Solve({}, config_.max_conflicts);
+    const int64_t budget = NextConflictBudget();
+    const SatStatus status = sat.Solve({}, budget);
+    if (config_.stream_budget.enabled()) {
+        SettleStreamBudget(budget, sat.last_solve_conflicts(),
+                           status != SatStatus::kUnknown);
+    }
     stats_.Bump("solver.sat_conflicts", sat.stats().Get("sat.conflicts"));
     stats_.Bump("solver.sat_decisions", sat.stats().Get("sat.decisions"));
 
@@ -308,6 +384,60 @@ Solver::SolveFresh(const std::vector<ExprRef> &live, Model *out_model)
     ACHILLES_UNREACHABLE("bad SatStatus");
 }
 
+void
+Solver::InstallExportHook()
+{
+    // Translate an all-guard clause back to the expressions it
+    // implicates and hand the sorted fingerprints to the sink. The SAT
+    // layer only exports clauses over variables marked shared, which
+    // this facade marks for exactly the guards registered in
+    // expr_by_guard_var, so the lookups cannot miss; the polarity
+    // filter is the real semantic gate (only negated guards spell
+    // "these assertions are jointly unsat").
+    inc_->sat.SetLearntExportHook([this](const std::vector<Lit> &lits) {
+        std::vector<LemmaFingerprint> fps;
+        fps.reserve(lits.size());
+        for (Lit l : lits) {
+            if (!l.negated())
+                return;
+            auto it = inc_->expr_by_guard_var.find(l.var());
+            if (it == inc_->expr_by_guard_var.end())
+                return;
+            fps.emplace_back(it->second->struct_hash(),
+                             it->second->struct_hash2());
+        }
+        std::sort(fps.begin(), fps.end());
+        fps.erase(std::unique(fps.begin(), fps.end()), fps.end());
+        stats_.Bump("solver.lemmas_published");
+        config_.clause_sink->PublishLemma(fps);
+    });
+}
+
+void
+Solver::InstallFetchedLemmas()
+{
+    for (FetchedLemma &lemma : fetched_lemmas_) {
+        if (lemma.installed)
+            continue;
+        std::vector<Lit> clause;
+        clause.reserve(lemma.fps.size());
+        bool anchored = true;
+        for (const LemmaFingerprint &fp : lemma.fps) {
+            auto it = inc_->guarded_by_fp.find(fp);
+            if (it == inc_->guarded_by_fp.end()) {
+                anchored = false;
+                break;
+            }
+            clause.push_back(~inc_->blaster.ActivationLit(it->second));
+        }
+        if (!anchored)
+            continue;  // implicated assertions not asserted here (yet)
+        lemma.installed = true;
+        stats_.Bump("solver.lemmas_installed");
+        inc_->sat.ImportClause(std::move(clause));
+    }
+}
+
 CheckStatus
 Solver::SolveIncremental(const std::vector<ExprRef> &live, bool *has_core,
                          std::vector<uint32_t> *core)
@@ -319,26 +449,71 @@ Solver::SolveIncremental(const std::vector<ExprRef> &live, bool *has_core,
         inc_.reset();
         inc_conflicts_seen_ = 0;
         inc_decisions_seen_ = 0;
+        inc_trail_reuses_seen_ = 0;
+        // The imported clauses died with the instance; replay the
+        // archive into the rebuilt one as its assertions reappear.
+        for (FetchedLemma &lemma : fetched_lemmas_)
+            lemma.installed = false;
     }
-    if (!inc_)
+    if (!inc_) {
         inc_ = std::make_unique<IncrementalBackend>();
+        if (config_.clause_sink != nullptr)
+            InstallExportHook();
+    }
     stats_.Bump("solver.incremental_sat_calls");
     inc_->sat.SetMinimizeCore(config_.enable_cores &&
                               config_.minimize_cores);
+    inc_->sat.SetTrailReuse(config_.enable_trail_reuse);
 
+    const bool exchange = config_.clause_sink != nullptr ||
+                          config_.clause_source != nullptr;
+    bool new_guards = false;
     std::vector<Lit> assumptions;
     assumptions.reserve(live.size());
-    for (ExprRef e : live)
-        assumptions.push_back(inc_->blaster.ActivationLit(e));
+    for (ExprRef e : live) {
+        const Lit guard = inc_->blaster.ActivationLit(e);
+        if (exchange && inc_->guarded.insert(e).second) {
+            new_guards = true;
+            inc_->expr_by_guard_var.emplace(guard.var(), e);
+            inc_->guarded_by_fp.emplace(
+                LemmaFingerprint{e->struct_hash(), e->struct_hash2()}, e);
+            // Only assertions over the id-aligned shared prefix may
+            // leave this solver: sibling contexts agree on what those
+            // fingerprints mean (the query-cache rule).
+            if (e->max_var_bound() <= config_.clause_share_var_limit)
+                inc_->sat.SetVarShared(guard.var(), true);
+        }
+        assumptions.push_back(guard);
+    }
+    if (config_.clause_source != nullptr) {
+        const size_t before = fetched_lemmas_.size();
+        std::vector<std::vector<LemmaFingerprint>> fresh;
+        config_.clause_source->FetchLemmas(&fresh);
+        for (std::vector<LemmaFingerprint> &fps : fresh)
+            fetched_lemmas_.push_back(FetchedLemma{std::move(fps), false});
+        if (fetched_lemmas_.size() > before) {
+            stats_.Bump("solver.lemmas_fetched",
+                        static_cast<int64_t>(fetched_lemmas_.size() -
+                                             before));
+        }
+        // Resolution can only change when a new lemma or a new guard
+        // arrived; skipping the scan otherwise keeps the per-query cost
+        // at two branch tests.
+        if (new_guards || fetched_lemmas_.size() > before)
+            InstallFetchedLemmas();
+    }
     const SatStatus status =
         inc_->sat.Solve(assumptions, config_.max_conflicts);
 
     const int64_t conflicts = inc_->sat.stats().Get("sat.conflicts");
     const int64_t decisions = inc_->sat.stats().Get("sat.decisions");
+    const int64_t reuses = inc_->sat.stats().Get("sat.trail_reuses");
     stats_.Bump("solver.sat_conflicts", conflicts - inc_conflicts_seen_);
     stats_.Bump("solver.sat_decisions", decisions - inc_decisions_seen_);
+    stats_.Bump("solver.trail_reuses", reuses - inc_trail_reuses_seen_);
     inc_conflicts_seen_ = conflicts;
     inc_decisions_seen_ = decisions;
+    inc_trail_reuses_seen_ = reuses;
 
     switch (status) {
       case SatStatus::kUnsat:

