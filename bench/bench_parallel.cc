@@ -8,13 +8,19 @@
 // concrete bytes) must be bitwise-identical at every worker count.
 //
 // Usage: bench_parallel [--clients N] [--workers 1,2,4,8]
-//                       [--clause-exchange] [--json <path>]
+//                       [--clause-exchange] [--lemma-cap N]
+//                       [--json <path>]
 //
 // `--clause-exchange` appends the learned-clause-exchange ablation:
 // every multi-worker point of the sweep reruns with the cross-worker
 // lemma pool disabled, reporting the on/off speedup and the lemma
 // counters, and re-checking that witness sets match the serial run in
 // both configurations.
+//
+// `--lemma-cap N` caps the shared lemma pool's live entries at N
+// (0 = unbounded); the eviction counters land in the JSON records, and
+// witness sets must stay identical at any cap -- eviction can only
+// cost an acceleration, never a verdict.
 //
 // Every JSON record set includes one `parallel.swept/workers=N` marker
 // per worker count actually run, so downstream consumers (the CI
@@ -53,15 +59,20 @@ struct SweepPoint
     int64_t states_stolen = 0;
     int64_t lemmas_published = 0;
     int64_t lemmas_installed = 0;
+    int64_t lemmas_evicted = 0;
     std::vector<WitnessSummary> witnesses;
 };
 
+/** `lemma_cap` < 0 keeps the SolverConfig default. */
 SweepPoint
-RunOnce(size_t workers, size_t num_clients, bool clause_exchange = true)
+RunOnce(size_t workers, size_t num_clients, bool clause_exchange = true,
+        int64_t lemma_cap = -1)
 {
     smt::ExprContext ctx;
     smt::SolverConfig solver_config;
     solver_config.share_learned_clauses = clause_exchange;
+    if (lemma_cap >= 0)
+        solver_config.lemma_pool_cap = lemma_cap;
     smt::Solver solver(&ctx, solver_config);
 
     const std::vector<symexec::Program> clients = fsp::MakeAllClients();
@@ -88,6 +99,7 @@ RunOnce(size_t workers, size_t num_clients, bool clause_exchange = true)
         result.server.stats.Get("exec.lemmas_published");
     point.lemmas_installed =
         result.server.stats.Get("solver.lemmas_installed");
+    point.lemmas_evicted = result.server.stats.Get("exec.lemmas_evicted");
     CanonicalHasher hasher(&ctx);
     for (const TrojanWitness &t : result.server.trojans) {
         point.witnesses.emplace_back(t.accept_label, t.concrete,
@@ -105,6 +117,7 @@ main(int argc, char **argv)
     bench::ParseBenchArgs(argc, argv);
     size_t num_clients = 8;
     bool exchange_ablation = false;
+    int64_t lemma_cap = -1;
     std::vector<size_t> worker_counts{1, 2, 4, 8};
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--clause-exchange") == 0)
@@ -113,6 +126,8 @@ main(int argc, char **argv)
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--clients") == 0) {
             num_clients = static_cast<size_t>(std::atoi(argv[i + 1]));
+        } else if (std::strcmp(argv[i], "--lemma-cap") == 0) {
+            lemma_cap = std::atoll(argv[i + 1]);
         } else if (std::strcmp(argv[i], "--workers") == 0) {
             worker_counts.clear();
             for (const char *p = argv[i + 1]; *p != '\0';) {
@@ -142,7 +157,7 @@ main(int argc, char **argv)
 
     std::vector<SweepPoint> points;
     for (size_t w : worker_counts)
-        points.push_back(RunOnce(w, num_clients));
+        points.push_back(RunOnce(w, num_clients, true, lemma_cap));
 
     const SweepPoint &serial = points.front();
 
@@ -194,10 +209,10 @@ main(int argc, char **argv)
             // between sections.
             const SweepPoint off =
                 RunOnce(swept.workers, num_clients,
-                        /*clause_exchange=*/false);
+                        /*clause_exchange=*/false, lemma_cap);
             const SweepPoint on =
                 RunOnce(swept.workers, num_clients,
-                        /*clause_exchange=*/true);
+                        /*clause_exchange=*/true, lemma_cap);
             const double speedup =
                 on.seconds > 0 ? off.seconds / on.seconds : 0.0;
             std::printf("  %8zu %10.3f %10.3f %8.2fx %10lld %10lld\n",
@@ -217,6 +232,9 @@ main(int argc, char **argv)
             bench::JsonRecorder::Instance().Record(
                 "parallel.lemmas_installed" + suffix,
                 static_cast<double>(on.lemmas_installed));
+            bench::JsonRecorder::Instance().Record(
+                "parallel.lemmas_evicted" + suffix,
+                static_cast<double>(on.lemmas_evicted));
         }
         bench::Note("witness sets must match the serial run in both "
                     "configurations; lemma counts are small by design "

@@ -2,16 +2,20 @@
 """Perf-trend regression gate over bench_* JSON records.
 
 Compares the current commit's bench records (bench_smt.json /
-bench_parallel.json, arrays of {"metric": ..., "value": ...}) against a
-baseline set downloaded from the previous `bench-records-*` artifact on
-main, and fails on a >threshold relative drop in any watched
-higher-is-better metric:
+bench_parallel.json, arrays of {"metric": ..., "value": ...} -- or
+{"metric": ..., "values": [...]} for multi-sample records, aggregated
+by mean; a record with zero samples is skipped with a warning, never a
+crash) against a baseline set downloaded from the previous
+`bench-records-*` artifact on main, and fails on a >threshold relative
+drop in any watched higher-is-better metric:
 
   * smt.incremental_speedup
   * smt.trail_reuse_speedup
   * parallel.speedup/workers=N                 (N in BOTH sweeps)
   * parallel.clause_exchange_speedup/workers=N (N in BOTH sweeps)
   * fig11.core_query_reduction_pct/<section>/workers=N
+  * fig11.prune_index_query_reduction_pct/<section>/workers=N
+  * fig11.overlay_hit_rate/<section>/workers=N
 
 Sweep matching: a per-worker parallel metric is only compared when both
 record sets carry its `parallel.swept/workers=N` marker (bench_parallel
@@ -37,6 +41,8 @@ WATCHED_PATTERNS = [
     "parallel.speedup/workers=*",
     "parallel.clause_exchange_speedup/workers=*",
     "fig11.core_query_reduction_pct/*",
+    "fig11.prune_index_query_reduction_pct/*",
+    "fig11.overlay_hit_rate/*",
 ]
 # Per-worker metrics gated on the sweep markers both record sets carry.
 SWEEP_METRIC_PREFIXES = (
@@ -44,6 +50,19 @@ SWEEP_METRIC_PREFIXES = (
     "parallel.clause_exchange_speedup/workers=",
 )
 SWEEP_MARKER_PREFIX = "parallel.swept/workers="
+
+
+def record_value(record):
+    """Scalar value of one record: its "value", or the mean of its
+    "values" samples. Returns None for a zero-sample record (a metric
+    that was declared but never measured -- e.g. a truncated sweep's
+    flush); the caller skips it instead of dividing by zero."""
+    if "values" in record:
+        samples = [float(v) for v in record["values"]]
+        if not samples:
+            return None
+        return sum(samples) / len(samples)
+    return float(record["value"])
 
 
 def load_records(paths):
@@ -57,9 +76,16 @@ def load_records(paths):
             continue
         for record in records:
             try:
-                merged[str(record["metric"])] = float(record["value"])
+                value = record_value(record)
+                metric = str(record["metric"])
             except (KeyError, TypeError, ValueError):
                 print(f"trend: malformed record in {path}: {record!r}")
+                continue
+            if value is None:
+                print(f"trend: zero-sample metric in {path}: "
+                      f"{record.get('metric')!r}; skipped")
+                continue
+            merged[metric] = value
     return merged
 
 

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_trend.py.
+
+Run directly (python3 scripts/test_check_bench_trend.py) or through
+CTest (registered as test_check_bench_trend). The regression scenarios
+drive the script as a subprocess, exactly as CI does; the zero-sample
+guard is also covered at the function level.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT_DIR = pathlib.Path(__file__).resolve().parent
+SCRIPT = SCRIPT_DIR / "check_bench_trend.py"
+sys.path.insert(0, str(SCRIPT_DIR))
+
+import check_bench_trend  # noqa: E402  (path set up above)
+
+
+def run_gate(current, baseline, extra_args=()):
+    """Write record sets to a temp tree and run the gate; returns
+    (exit_code, stdout)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = pathlib.Path(tmp)
+        current_file = tmp_path / "current.json"
+        current_file.write_text(json.dumps(current))
+        baseline_dir = tmp_path / "baseline"
+        baseline_dir.mkdir()
+        if baseline is not None:
+            (baseline_dir / "baseline.json").write_text(
+                json.dumps(baseline))
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), "--current", str(current_file),
+             "--baseline-dir", str(baseline_dir), *extra_args],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+class LoadRecordsTest(unittest.TestCase):
+    def test_zero_samples_is_skipped_not_a_crash(self):
+        # The regression this guards: a baseline artifact carrying a
+        # metric with an empty sample list (a truncated sweep's flush)
+        # must not crash the mean computation.
+        self.assertIsNone(
+            check_bench_trend.record_value(
+                {"metric": "smt.incremental_speedup", "values": []}))
+
+    def test_values_list_is_mean_aggregated(self):
+        self.assertEqual(
+            check_bench_trend.record_value(
+                {"metric": "m", "values": [1.0, 2.0, 3.0]}), 2.0)
+
+    def test_scalar_value_passes_through(self):
+        self.assertEqual(
+            check_bench_trend.record_value({"metric": "m", "value": 4.5}),
+            4.5)
+
+
+class GateTest(unittest.TestCase):
+    def test_zero_sample_baseline_does_not_crash_the_gate(self):
+        code, out = run_gate(
+            current=[{"metric": "smt.incremental_speedup", "value": 10.0}],
+            baseline=[{"metric": "smt.incremental_speedup", "values": []}])
+        self.assertEqual(code, 0, out)
+        self.assertIn("zero-sample", out)
+
+    def test_regression_fails(self):
+        code, out = run_gate(
+            current=[{"metric": "smt.incremental_speedup", "value": 5.0}],
+            baseline=[{"metric": "smt.incremental_speedup",
+                       "values": [10.0, 10.0]}])
+        self.assertEqual(code, 1, out)
+
+    def test_regression_warn_only_passes(self):
+        code, out = run_gate(
+            current=[{"metric": "smt.incremental_speedup", "value": 5.0}],
+            baseline=[{"metric": "smt.incremental_speedup", "value": 10.0}],
+            extra_args=("--warn-only",))
+        self.assertEqual(code, 0, out)
+
+    def test_small_drop_passes(self):
+        code, out = run_gate(
+            current=[{"metric": "smt.incremental_speedup", "value": 9.0}],
+            baseline=[{"metric": "smt.incremental_speedup",
+                       "value": 10.0}])
+        self.assertEqual(code, 0, out)
+
+    def test_one_sided_metric_is_skipped(self):
+        code, out = run_gate(
+            current=[
+                {"metric": "fig11.prune_index_query_reduction_pct"
+                           "/fsp/workers=1", "value": 5.0}],
+            baseline=[{"metric": "smt.incremental_speedup",
+                       "value": 10.0}])
+        self.assertEqual(code, 0, out)
+        self.assertIn("one-sided", out)
+
+    def test_sweep_mismatch_is_skipped(self):
+        # workers=8 only swept in the baseline: its regression must not
+        # fire.
+        code, out = run_gate(
+            current=[
+                {"metric": "parallel.swept/workers=1", "value": 1.0},
+                {"metric": "parallel.speedup/workers=8", "value": 1.0}],
+            baseline=[
+                {"metric": "parallel.swept/workers=1", "value": 1.0},
+                {"metric": "parallel.swept/workers=8", "value": 1.0},
+                {"metric": "parallel.speedup/workers=8", "value": 8.0}])
+        self.assertEqual(code, 0, out)
+        self.assertIn("sweep mismatch", out)
+
+    def test_missing_baseline_passes(self):
+        code, out = run_gate(
+            current=[{"metric": "smt.incremental_speedup", "value": 5.0}],
+            baseline=None)
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

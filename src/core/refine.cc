@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "core/client_extractor.h"
+#include "exec/prune_index.h"
 #include "smt/eval.h"
 
 namespace achilles {
@@ -33,17 +34,28 @@ ConfirmWitnesses(smt::ExprContext *ctx, smt::Solver *solver,
 
     // Unsat cores make the bounded per-path re-checks transfer across
     // witnesses: a core refuting "path p emits witness w" is a subset
-    // of p's constraints plus pinned-byte equalities, and every witness
-    // agreeing on those bytes builds the identical (interned) pin
-    // expressions, so containment proves the next check UNSAT without
-    // a solver call. Cores are only consumed on unbudgeted solvers:
-    // under a flat or stream-level conflict budget the solver can
-    // answer kUnknown and never produces cores in the first place.
+    // of p's constraints plus pinned-byte equalities, and any later
+    // (path, witness) check whose constraint set contains the
+    // constraint part and whose pin set contains the pin part is UNSAT
+    // by the same core. The two-part subsumption probe is the shared
+    // pruning knowledge base's (exec::PruneIndex, the same store the
+    // server explorer's Trojan pruning uses), so reuse crosses paths
+    // as well as witnesses: a core implicating only constraints shared
+    // between two client paths transfers between them. Cores are only
+    // consumed on unbudgeted solvers: under a flat or stream-level
+    // conflict budget the solver can answer kUnknown and never
+    // produces cores in the first place.
     const bool cores_usable = solver->config().enable_cores &&
                               solver->config().unbudgeted();
-    std::vector<std::vector<std::vector<smt::ExprRef>>> cores_by_path(
-        pc.paths.size());
-    static constexpr size_t kCoresPerPath = 8;
+    exec::PruneIndexConfig prune_config;
+    prune_config.shards = 4;
+    prune_config.core_cap = 8 * pc.paths.size();
+    exec::PruneIndex prune(prune_config);
+    // Per-path constraint fingerprints, computed once (single context,
+    // always fingerprintable under the unlimited var bound).
+    std::vector<exec::PruneFpVec> path_fps(pc.paths.size());
+    for (size_t p = 0; p < pc.paths.size(); ++p)
+        prune.Fingerprint(pc.paths[p].constraints, &path_fps[p]);
 
     for (const TrojanWitness &witness : witnesses) {
         bool producible = false;
@@ -65,16 +77,10 @@ ConfirmWitnesses(smt::ExprContext *ctx, smt::Solver *solver,
                     ctx->MakeConst(8, witness.concrete[off])));
             }
             query.insert(query.end(), pins.begin(), pins.end());
+            exec::PruneFpVec pin_fps;
             if (cores_usable) {
-                bool subsumed = false;
-                for (const std::vector<smt::ExprRef> &core :
-                     cores_by_path[p]) {
-                    if (smt::ContainsAllExprs(query, core)) {
-                        subsumed = true;
-                        break;
-                    }
-                }
-                if (subsumed) {
+                prune.Fingerprint(pins, &pin_fps);
+                if (prune.SubsumesCore(0, path_fps[p], pin_fps)) {
                     ++result.core_skips;
                     continue;  // this path cannot emit the witness
                 }
@@ -85,13 +91,22 @@ ConfirmWitnesses(smt::ExprContext *ctx, smt::Solver *solver,
             if (r == smt::CheckResult::kSat) {
                 producible = true;
             } else if (cores_usable && r == smt::CheckResult::kUnsat &&
-                       r.has_core &&
-                       cores_by_path[p].size() < kCoresPerPath) {
-                std::vector<smt::ExprRef> core;
-                core.reserve(r.core.size());
-                for (uint32_t idx : r.core)
-                    core.push_back(query[idx]);
-                cores_by_path[p].push_back(std::move(core));
+                       r.has_core) {
+                // Record the core split into its constraint part and
+                // its pin part (indices below pred.constraints.size()
+                // are constraints).
+                std::vector<smt::ExprRef> constraint_part;
+                std::vector<smt::ExprRef> pin_part;
+                for (uint32_t idx : r.core) {
+                    if (idx < pred.constraints.size())
+                        constraint_part.push_back(query[idx]);
+                    else
+                        pin_part.push_back(query[idx]);
+                }
+                exec::PruneFpVec constraint_part_fps, pin_part_fps;
+                prune.Fingerprint(constraint_part, &constraint_part_fps);
+                prune.Fingerprint(pin_part, &pin_part_fps);
+                prune.RecordCore(0, constraint_part_fps, pin_part_fps);
             }
         }
         result.verdicts.push_back(producible ? WitnessVerdict::kRefuted

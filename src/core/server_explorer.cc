@@ -56,6 +56,20 @@ class ServerExplorer::WorkerListener : public symexec::Listener
                                owner->message_[i]->VarId(),
                            "message variables out of alignment");
         }
+        prune_ = owner->config_.use_prune_index ? wc->prune_index
+                                                : nullptr;
+        match_fps_ = BuildMatchFps(prune_, match_);
+        if (owner->config_.trojan_stream_budget.enabled()) {
+            smt::SolverConfig budgeted = wc->solver->config();
+            budgeted.stream_budget = owner->config_.trojan_stream_budget;
+            // The budgeted stream neither exports nor needs lemmas;
+            // keep the worker's clause channel exclusive to the main
+            // solver.
+            budgeted.clause_sink = nullptr;
+            budgeted.clause_source = nullptr;
+            trojan_solver_ =
+                std::make_unique<smt::Solver>(&wc->ctx, budgeted);
+        }
     }
 
     Plane
@@ -64,13 +78,16 @@ class ServerExplorer::WorkerListener : public symexec::Listener
         Plane p;
         p.ctx = &wc_->ctx;
         p.solver = wc_->solver.get();
+        p.trojan_solver = trojan_solver_.get();
         p.match = &match_;
         p.negations = &negations_;
         p.message = &message_;
+        p.match_fps = &match_fps_;
         p.stats = &stats_;
         p.samples = &samples_;
         p.trojans = &trojans_;
-        p.trojan_cores = &trojan_cores_;
+        p.prune = prune_;
+        p.worker_id = wc_->worker_id;
         return p;
     }
 
@@ -99,10 +116,12 @@ class ServerExplorer::WorkerListener : public symexec::Listener
     std::vector<std::vector<smt::ExprRef>> match_;
     std::vector<smt::ExprRef> negations_;
     std::vector<smt::ExprRef> message_;
+    std::vector<exec::PruneFpVec> match_fps_;
+    exec::PruneIndex *prune_ = nullptr;
+    std::unique_ptr<smt::Solver> trojan_solver_;
     StatsRegistry stats_;
     std::vector<LiveSetSample> samples_;
     std::vector<TrojanWitness> trojans_;
-    TrojanCoreMemo trojan_cores_;
 };
 
 class ServerExplorer::WorkerFactory : public exec::WorkerListenerFactory
@@ -184,6 +203,40 @@ ServerExplorer::ServerExplorer(
                                  ? (*negations_)[i].Disjunction(ctx_)
                                  : nullptr;
     }
+
+    if (config_.use_prune_index) {
+        // The serial-run knowledge base (multi-worker runs share the
+        // ParallelEngine's instance instead). One context, so every
+        // expression is fingerprintable.
+        exec::PruneIndexConfig prune_config;
+        prune_config.core_cap = config_.prune_core_cap;
+        prune_config.overlay_cap = config_.prune_overlay_cap;
+        home_prune_ = std::make_unique<exec::PruneIndex>(prune_config);
+        home_match_fps_ = BuildMatchFps(home_prune_.get(), match_);
+    }
+    if (config_.trojan_stream_budget.enabled()) {
+        smt::SolverConfig budgeted = solver_->config();
+        budgeted.stream_budget = config_.trojan_stream_budget;
+        budgeted.clause_sink = nullptr;
+        budgeted.clause_source = nullptr;
+        home_trojan_solver_ =
+            std::make_unique<smt::Solver>(ctx_, budgeted);
+    }
+}
+
+ServerExplorerConfig
+BudgetedExplorationPreset(ServerExplorerConfig base)
+{
+    // Generous opening budget decaying toward a floor, with half of
+    // every decided query's unspent conflicts rolling forward: early
+    // (hard, discriminating) pruning queries get room, the long tail
+    // of repetitive ones is clamped, and the stream as a whole is
+    // bounded. Match and witness queries stay unbudgeted.
+    base.trojan_stream_budget.base = 4096;
+    base.trojan_stream_budget.decay = 0.98;
+    base.trojan_stream_budget.floor = 256;
+    base.trojan_stream_budget.carry = 0.5;
+    return base;
 }
 
 ServerExplorer::Plane
@@ -192,14 +245,32 @@ ServerExplorer::HomePlane()
     Plane p;
     p.ctx = ctx_;
     p.solver = solver_;
+    p.trojan_solver = home_trojan_solver_.get();
     p.match = &match_;
     p.negations = &negation_exprs_;
     p.message = &message_;
+    p.match_fps = &home_match_fps_;
     p.stats = &analysis_.stats;
     p.samples = &analysis_.live_samples;
     p.trojans = &analysis_.trojans;
-    p.trojan_cores = &home_trojan_cores_;
+    p.prune = home_prune_.get();
+    p.worker_id = 0;
     return p;
+}
+
+std::vector<exec::PruneFpVec>
+ServerExplorer::BuildMatchFps(
+    const exec::PruneIndex *index,
+    const std::vector<std::vector<smt::ExprRef>> &match)
+{
+    std::vector<exec::PruneFpVec> out(match.size());
+    if (index == nullptr)
+        return out;
+    for (size_t i = 0; i < match.size(); ++i) {
+        if (!index->Fingerprint(match[i], &out[i]))
+            out[i].clear();  // empty marks "skip the index"
+    }
+    return out;
 }
 
 ServerExplorer::LiveSet *
@@ -231,16 +302,21 @@ ServerExplorer::PredicateMatches(Plane &plane, const symexec::State &state,
 }
 
 bool
-ServerExplorer::CoresUsable(const Plane &plane) const
+ServerExplorer::SolverCoresOk(const smt::Solver *solver) const
 {
     // Budgeted solvers -- flat max_conflicts or stream-level budgets --
     // can answer kUnknown; nothing may be dropped or subsumed off a
     // core then (the no-drop-on-kUnknown contract), so core consumption
     // is reserved for unbudgeted configurations where every core-guided
     // decision coincides with a kUnsat the solver would have produced.
-    return config_.use_unsat_cores &&
-           plane.solver->config().enable_cores &&
-           plane.solver->config().unbudgeted();
+    return config_.use_unsat_cores && solver->config().enable_cores &&
+           solver->config().unbudgeted();
+}
+
+bool
+ServerExplorer::CoresUsable(const Plane &plane) const
+{
+    return SolverCoresOk(plane.solver);
 }
 
 void
@@ -253,12 +329,14 @@ ServerExplorer::CoreGuidedDrops(Plane &plane, const symexec::State &state,
     // expressions.
     const std::vector<smt::ExprRef> &path = state.constraints();
     const std::vector<smt::ExprRef> &match_i = (*plane.match)[i];
+    std::vector<smt::ExprRef> path_part;
     std::vector<smt::ExprRef> match_part;
     std::vector<smt::ExprRef> core_exprs;
     core_exprs.reserve(result.core.size());
     for (uint32_t idx : result.core) {
         if (idx < path.size()) {
-            core_exprs.push_back(path[idx]);
+            path_part.push_back(path[idx]);
+            core_exprs.push_back(path_part.back());
         } else {
             ACHILLES_CHECK(idx - path.size() < match_i.size(),
                            "core index out of range");
@@ -314,23 +392,38 @@ ServerExplorer::CoreGuidedDrops(Plane &plane, const symexec::State &state,
                     plane.stats->Bump("explorer.core_field_marks");
                 }
             }
+            // Densify the differentFrom overlay: the single-field core
+            // becomes a mutable value-class edge any plane (any
+            // worker) can take on later branches whose path contains
+            // the implicated field-f constraints. Entries must
+            // implicate the match side; a path-only core cannot arise
+            // from a feasible state, but guard anyway.
+            if (plane.prune != nullptr && !match_part.empty()) {
+                exec::PruneFpVec path_fps, match_fps;
+                if (plane.prune->Fingerprint(path_part, &path_fps) &&
+                    plane.prune->Fingerprint(match_part, &match_fps)) {
+                    plane.prune->RecordFieldCore(
+                        plane.worker_id,
+                        DifferentFromMatrix::FieldToken(field),
+                        path_fps, match_fps);
+                }
+            }
         }
     }
 }
 
 bool
 ServerExplorer::TrojanSubsumedByCore(
-    Plane &plane, const std::vector<smt::ExprRef> &path_constraints,
+    Plane &plane, const exec::PruneFpVec *path_fps,
     const std::vector<smt::ExprRef> &negations) const
 {
-    for (const TrojanCoreMemo::CoreParts &parts :
-         plane.trojan_cores->entries) {
-        if (smt::ContainsAllExprs(path_constraints, parts.path) &&
-            smt::ContainsAllExprs(negations, parts.negations)) {
-            return true;
-        }
-    }
-    return false;
+    if (plane.prune == nullptr || path_fps == nullptr)
+        return false;
+    exec::PruneFpVec neg_fps;
+    if (!plane.prune->Fingerprint(negations, &neg_fps))
+        return false;  // worker-local variable: not index-portable
+    return plane.prune->SubsumesCore(plane.worker_id, *path_fps,
+                                     neg_fps);
 }
 
 void
@@ -339,30 +432,37 @@ ServerExplorer::RememberTrojanCore(
     const std::vector<smt::ExprRef> &negations,
     const smt::CheckResult &result)
 {
-    TrojanCoreMemo::CoreParts parts;
+    if (plane.prune == nullptr)
+        return;
+    // Split the core into its path part and its negation part; keyed
+    // by the path part, it subsumes any descendant state's query --
+    // on any worker -- whose constraints contain the path part and
+    // whose live negations contain the negation part.
+    std::vector<smt::ExprRef> path_part;
+    std::vector<smt::ExprRef> negation_part;
     for (uint32_t idx : result.core) {
         if (idx < path_constraints.size()) {
-            parts.path.push_back(path_constraints[idx]);
+            path_part.push_back(path_constraints[idx]);
         } else {
             ACHILLES_CHECK(idx - path_constraints.size() < negations.size(),
                            "core index out of range");
-            parts.negations.push_back(
+            negation_part.push_back(
                 negations[idx - path_constraints.size()]);
         }
     }
-    TrojanCoreMemo *memo = plane.trojan_cores;
-    if (memo->entries.size() < TrojanCoreMemo::kCapacity) {
-        memo->entries.push_back(std::move(parts));
-    } else {
-        memo->entries[memo->next] = std::move(parts);
-        memo->next = (memo->next + 1) % TrojanCoreMemo::kCapacity;
+    exec::PruneFpVec path_fps, neg_fps;
+    if (!plane.prune->Fingerprint(path_part, &path_fps) ||
+        !plane.prune->Fingerprint(negation_part, &neg_fps)) {
+        return;
     }
+    plane.prune->RecordCore(plane.worker_id, path_fps, neg_fps);
 }
 
 smt::CheckResult
 ServerExplorer::TrojanQuery(
     Plane &plane, const std::vector<smt::ExprRef> &path_constraints,
-    const std::vector<uint32_t> &live, smt::Model *model)
+    const std::vector<uint32_t> &live, smt::Model *model,
+    const exec::PruneFpVec *path_fps)
 {
     std::vector<smt::ExprRef> negations;
     negations.reserve(live.size());
@@ -375,16 +475,24 @@ ServerExplorer::TrojanQuery(
         }
         negations.push_back((*plane.negations)[i]);
     }
-    // Only model-less (pruning) queries consult and feed the core memo:
-    // witness-producing queries must reach the deterministic
-    // fresh-instance path for their model bytes.
-    const bool cores = model == nullptr && CoresUsable(plane);
-    if (cores && TrojanSubsumedByCore(plane, path_constraints, negations)) {
+    // Pruning (model-less) queries may run on the dedicated
+    // stream-budgeted Trojan solver; witness-producing queries always
+    // use the main solver's deterministic fresh-instance path for
+    // their model bytes.
+    smt::Solver *solver = plane.solver;
+    if (model == nullptr && plane.trojan_solver != nullptr)
+        solver = plane.trojan_solver;
+    // Only model-less (pruning) queries answered by an unbudgeted
+    // solver consult and feed the shared core index: a budgeted stream
+    // can answer kUnknown, so it must neither skip queries nor record
+    // cores (no-drop-on-kUnknown).
+    const bool cores = model == nullptr && SolverCoresOk(solver);
+    if (cores && TrojanSubsumedByCore(plane, path_fps, negations)) {
         plane.stats->Bump("explorer.trojan_core_subsumed");
         return smt::CheckResult(smt::CheckStatus::kUnsat);
     }
     plane.stats->Bump("explorer.trojan_queries");
-    smt::CheckResult result = plane.solver->CheckSatAssuming(
+    smt::CheckResult result = solver->CheckSatAssuming(
         path_constraints, negations, model);
     if (cores && result == smt::CheckResult::kUnsat && result.has_core)
         RememberTrojanCore(plane, path_constraints, negations, result);
@@ -417,6 +525,15 @@ ServerExplorer::HandleBranch(Plane &plane, symexec::State &state,
 {
     LiveSet *data = GetLiveSet(state);
 
+    // Path fingerprints for the index probes, computed once per branch
+    // (the differentFrom overlay and the Trojan-core store share
+    // them); an un-fingerprintable constraint set -- a worker-local
+    // variable -- just skips the index.
+    exec::PruneFpVec path_fps;
+    const bool path_fps_ok =
+        plane.prune != nullptr && config_.use_unsat_cores &&
+        plane.prune->Fingerprint(state.constraints(), &path_fps);
+
     // Only constraints over the message can change which client
     // predicates match (skipping others is conservative: we merely keep
     // predicates live longer).
@@ -428,6 +545,9 @@ ServerExplorer::HandleBranch(Plane &plane, symexec::State &state,
             different_from_->IsIndependentField(fields[0]);
 
         const bool cores_usable = CoresUsable(plane);
+        const bool overlay_usable =
+            cores_usable && path_fps_ok &&
+            config_.use_different_from && different_from_ != nullptr;
         std::vector<uint32_t> survivors;
         survivors.reserve(data->live.size());
         // Per-predicate verdicts: 1 = drop via the differentFrom value
@@ -444,6 +564,32 @@ ServerExplorer::HandleBranch(Plane &plane, symexec::State &state,
             }
             if (decided[i] == 2) {
                 survivors.push_back(i);
+                continue;
+            }
+            // The differentFrom overlay: a single-field core recorded
+            // on an earlier branch (possibly by another worker) whose
+            // path part this state contains refutes predicate i
+            // outright, and names a field, so i's value class takes
+            // the static fast path too -- exactly the decisions the
+            // solver query below would have produced.
+            std::string overlay_field;
+            if (overlay_usable && !(*plane.match_fps)[i].empty() &&
+                different_from_->OverlaySubsumed(
+                    plane.prune, plane.worker_id, path_fps,
+                    (*plane.match_fps)[i], &overlay_field)) {
+                decided[i] = 3;
+                plane.stats->Bump("explorer.overlay_drops");
+                if (different_from_->IsIndependentField(overlay_field)) {
+                    for (uint32_t j : data->live) {
+                        if (decided[j] == 0 && j != i &&
+                            !different_from_->Different(j, i,
+                                                        overlay_field)) {
+                            decided[j] = 3;
+                            plane.stats->Bump(
+                                "explorer.overlay_field_marks");
+                        }
+                    }
+                }
                 continue;
             }
             const smt::CheckResult r = PredicateMatches(plane, state, i);
@@ -478,7 +624,8 @@ ServerExplorer::HandleBranch(Plane &plane, symexec::State &state,
 
     if (config_.prune_trojan_free_states) {
         const smt::CheckResult r =
-            TrojanQuery(plane, state.constraints(), data->live, nullptr);
+            TrojanQuery(plane, state.constraints(), data->live, nullptr,
+                        path_fps_ok ? &path_fps : nullptr);
         if (r == smt::CheckResult::kUnsat) {
             plane.stats->Bump("explorer.states_pruned");
             return false;
@@ -547,6 +694,10 @@ ServerExplorer::RunParallel()
 {
     exec::ParallelEngine engine(ctx_, server_, symexec::Mode::kServer,
                                 config_.engine, solver_->config());
+    exec::PruneIndexConfig prune_config;
+    prune_config.core_cap = config_.prune_core_cap;
+    prune_config.overlay_cap = config_.prune_overlay_cap;
+    engine.SetPruneIndexConfig(prune_config);
     engine.SetIncomingMessage(message_);
     WorkerFactory factory(this);
     const bool incremental = config_.mode == SearchMode::kIncremental;
@@ -644,6 +795,8 @@ ServerExplorer::Run()
         }
     }
 
+    if (home_prune_ != nullptr)
+        home_prune_->ExportStats(&analysis_.stats);
     analysis_.seconds = timer_.Seconds();
     return std::move(analysis_);
 }

@@ -28,6 +28,7 @@
 #include "core/message.h"
 #include "core/negate.h"
 #include "core/path_predicate.h"
+#include "exec/prune_index.h"
 #include "smt/solver.h"
 #include "support/stats.h"
 #include "support/timer.h"
@@ -74,7 +75,40 @@ struct ServerExplorerConfig
      * dropped on kUnknown.
      */
     bool use_unsat_cores = true;
+    /**
+     * Consult and feed the run's shared pruning knowledge base
+     * (exec::PruneIndex): the cross-state Trojan-core subsumption
+     * index and the runtime differentFrom overlay. Every hit answers
+     * exactly what the skipped solver query would have answered, so
+     * witness sets are bitwise identical with the index on or off;
+     * like all core reuse it is inert on budgeted solvers.
+     */
+    bool use_prune_index = true;
+    /** Entry caps for the explorer-owned index (serial runs) and the
+     *  ParallelEngine-owned one (multi-worker runs). */
+    size_t prune_core_cap = 1024;
+    size_t prune_overlay_cap = 1024;
+    /**
+     * Stream-level conflict budget for the Trojan-pruning query stream
+     * (disabled by default). When enabled, pruning queries run on a
+     * dedicated budgeted solver: a kUnknown answer keeps the state (no
+     * witness is ever dropped) and, per the unbudgeted() gate, no core
+     * is recorded or consumed on that stream. Match queries and
+     * witness-producing queries stay on the main unbudgeted solver.
+     */
+    smt::StreamBudget trojan_stream_budget;
 };
+
+/**
+ * Preset for service deployments (ROADMAP "Stream-budget adoption in
+ * the explorer"): bound worst-case exploration latency by stream-
+ * budgeting the Trojan-pruning stream while keeping predicate-match
+ * and witness-producing queries unbudgeted. Pruning degrades
+ * conservatively under the budget -- states the solver cannot cheaply
+ * refute stay alive -- so the witness set is unchanged.
+ */
+ServerExplorerConfig BudgetedExplorationPreset(
+    ServerExplorerConfig base = {});
 
 /** A discovered Trojan message. */
 struct TrojanWitness
@@ -169,46 +203,35 @@ class ServerExplorer : public symexec::Listener
     friend class WorkerListener;
 
     /**
-     * Recent unsat cores of pruning Trojan queries, split into the
-     * path-constraint part and the negation part. A later query whose
-     * constraint set contains the path part and whose negation set
-     * contains the negation part is UNSAT by the same core -- a
-     * subsumption hit that skips the solver. Bounded ring, one per
-     * plane (worker-private; expressions are plane-context interned so
-     * membership is pointer equality).
-     */
-    struct TrojanCoreMemo
-    {
-        struct CoreParts
-        {
-            std::vector<smt::ExprRef> path;
-            std::vector<smt::ExprRef> negations;
-        };
-        static constexpr size_t kCapacity = 16;
-        std::vector<CoreParts> entries;
-        size_t next = 0;
-    };
-
-    /**
      * One data plane for the exploration logic: the context, solver and
      * per-predicate expression tables the logic runs against, plus the
      * sinks it writes to. The serial path uses a single home plane; with
      * num_workers > 1 each worker gets a plane of bridge-translated
      * expressions, its own CachedSolver and private sinks, so the
      * LiveSet bookkeeping and witness emission never share mutable
-     * state across threads.
+     * state across threads. Cross-plane pruning knowledge flows only
+     * through the shared PruneIndex, in context-independent
+     * fingerprints.
      */
     struct Plane
     {
         smt::ExprContext *ctx;
         smt::Solver *solver;
+        /** Dedicated solver for the Trojan-pruning stream (stream-
+         *  budgeted presets); null means plane.solver serves it. */
+        smt::Solver *trojan_solver;
         const std::vector<std::vector<smt::ExprRef>> *match;
         const std::vector<smt::ExprRef> *negations;
         const std::vector<smt::ExprRef> *message;
+        /** Per-predicate sorted match fingerprints for overlay probes
+         *  (empty vector = not fingerprintable, skip the index). */
+        const std::vector<exec::PruneFpVec> *match_fps;
         StatsRegistry *stats;
         std::vector<LiveSetSample> *samples;
         std::vector<TrojanWitness> *trojans;
-        TrojanCoreMemo *trojan_cores;
+        /** The shared pruning knowledge base (null = disabled). */
+        exec::PruneIndex *prune;
+        size_t worker_id;
     };
 
     Plane HomePlane();
@@ -222,9 +245,18 @@ class ServerExplorer : public symexec::Listener
                                       const symexec::State &state,
                                       size_t i);
 
-    /** True when core consumption is sound and enabled: the config
-     *  toggle is on and the plane's solver runs unbudgeted queries. */
+    /** True when core consumption off `solver` is sound and enabled:
+     *  the config toggle is on and the solver runs unbudgeted
+     *  queries. */
+    bool SolverCoresOk(const smt::Solver *solver) const;
+    /** SolverCoresOk for the plane's match-query solver. */
     bool CoresUsable(const Plane &plane) const;
+
+    /** Per-predicate sorted match fingerprints for a plane's tables
+     *  (empty entries mark non-fingerprintable predicates). */
+    static std::vector<exec::PruneFpVec> BuildMatchFps(
+        const exec::PruneIndex *index,
+        const std::vector<std::vector<smt::ExprRef>> &match);
 
     /**
      * Mark every still-undecided live predicate that the core of
@@ -239,19 +271,27 @@ class ServerExplorer : public symexec::Listener
                          const std::vector<uint32_t> &live,
                          std::vector<uint8_t> *decided);
 
-    /** Subsumption probe / recording for pruning Trojan queries. */
+    /** Subsumption probe / recording for pruning Trojan queries,
+     *  routed through the shared PruneIndex as fingerprints.
+     *  `path_fps` carries the precomputed fingerprints of the full
+     *  path-constraint set (HandleBranch computes them once per branch
+     *  for both the overlay and this probe); null means the set was
+     *  not fingerprintable, which skips the index. */
     bool TrojanSubsumedByCore(
-        Plane &plane, const std::vector<smt::ExprRef> &path_constraints,
+        Plane &plane, const exec::PruneFpVec *path_fps,
         const std::vector<smt::ExprRef> &negations) const;
     void RememberTrojanCore(
         Plane &plane, const std::vector<smt::ExprRef> &path_constraints,
         const std::vector<smt::ExprRef> &negations,
         const smt::CheckResult &result);
 
-    /** Trojan query for a state; fills the model when sat. */
+    /** Trojan query for a state; fills the model when sat. `path_fps`
+     *  (optional) are the precomputed fingerprints of
+     *  `path_constraints` for the pruning-probe path. */
     smt::CheckResult TrojanQuery(
         Plane &plane, const std::vector<smt::ExprRef> &path_constraints,
-        const std::vector<uint32_t> &live, smt::Model *model);
+        const std::vector<uint32_t> &live, smt::Model *model,
+        const exec::PruneFpVec *path_fps = nullptr);
 
     /** Fields constrained by an expression (via message byte vars). */
     std::vector<std::string> TouchedFields(const Plane &plane,
@@ -286,7 +326,14 @@ class ServerExplorer : public symexec::Listener
     std::vector<smt::ExprRef> negation_exprs_;
 
     ServerAnalysis analysis_;
-    TrojanCoreMemo home_trojan_cores_;
+    /** The pruning knowledge base for serial runs and the a-posteriori
+     *  pass (multi-worker runs use the ParallelEngine's instance). */
+    std::unique_ptr<exec::PruneIndex> home_prune_;
+    /** Home-plane match fingerprints (parallel planes build their
+     *  own). */
+    std::vector<exec::PruneFpVec> home_match_fps_;
+    /** Budgeted Trojan-stream solver (see trojan_stream_budget). */
+    std::unique_ptr<smt::Solver> home_trojan_solver_;
     Timer timer_;
 };
 

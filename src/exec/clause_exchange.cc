@@ -2,16 +2,24 @@
 
 #include "exec/clause_exchange.h"
 
+#include <algorithm>
+
 namespace achilles {
 namespace exec {
 
-ClauseExchange::ClauseExchange(size_t shards)
+ClauseExchange::ClauseExchange(size_t shards, size_t lemma_cap)
 {
     if (shards == 0)
         shards = 1;
+    // A cap below the shard count would overshoot with one lemma per
+    // shard; shrink the stripe count so the pool-wide bound holds.
+    if (lemma_cap != 0 && lemma_cap < shards)
+        shards = lemma_cap;
     shards_.reserve(shards);
     for (size_t i = 0; i < shards; ++i)
         shards_.push_back(std::make_unique<Shard>());
+    if (lemma_cap != 0)
+        per_shard_cap_ = lemma_cap / shards;
 }
 
 ClauseExchange::Shard &
@@ -32,6 +40,15 @@ ClauseExchange::Publish(size_t publisher, const Lemma &lemma)
         duplicates_.fetch_add(1, std::memory_order_relaxed);
         return;
     }
+    if (per_shard_cap_ != 0 && shard.log.size() >= per_shard_cap_) {
+        // Age-based eviction: drop the oldest lemma and forget it in
+        // the dedup set, so a re-discovery (the activity signal) can
+        // re-publish it into the live window.
+        shard.dedup.erase(shard.log.front().lemma);
+        shard.log.pop_front();
+        ++shard.base;
+        evicted_.fetch_add(1, std::memory_order_relaxed);
+    }
     shard.log.push_back(Entry{lemma, publisher});
     published_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -45,14 +62,19 @@ ClauseExchange::Fetch(size_t consumer, Cursor *cursor,
     for (size_t i = 0; i < shards_.size(); ++i) {
         Shard &shard = *shards_[i];
         std::lock_guard<std::mutex> lock(shard.mutex);
-        for (size_t k = cursor->next[i]; k < shard.log.size(); ++k) {
-            const Entry &entry = shard.log[k];
+        // Cursors are absolute publication positions; anything below
+        // the live window's base was evicted before this consumer got
+        // to it and is simply skipped.
+        const size_t end = shard.base + shard.log.size();
+        for (size_t k = std::max(cursor->next[i], shard.base); k < end;
+             ++k) {
+            const Entry &entry = shard.log[k - shard.base];
             if (entry.publisher == consumer)
                 continue;  // the consumer already owns its own lemmas
             out->push_back(entry.lemma);
             ++appended;
         }
-        cursor->next[i] = shard.log.size();
+        cursor->next[i] = end;
     }
     fetched_.fetch_add(static_cast<int64_t>(appended),
                        std::memory_order_relaxed);
@@ -76,6 +98,7 @@ ClauseExchange::ExportStats(StatsRegistry *stats) const
     stats->Bump("exec.lemmas_published", published());
     stats->Bump("exec.lemmas_deduped", duplicates());
     stats->Bump("exec.lemmas_fetched", fetched());
+    stats->Bump("exec.lemmas_evicted", evicted());
     stats->Set("exec.lemma_pool_entries", static_cast<int64_t>(size()));
 }
 

@@ -13,10 +13,19 @@
 //
 // Sharding mirrors exec/query_cache: lemmas are distributed over
 // independent lock-striped shards keyed by their first fingerprint, and
-// each shard keeps an append-only log plus a dedup set. Consumers poll
-// with a per-consumer cursor (one position per shard), so a fetch hands
-// out exactly the lemmas published since the consumer's previous fetch,
+// each shard keeps a log plus a dedup set. Consumers poll with a
+// per-consumer cursor (one position per shard), so a fetch hands out
+// exactly the lemmas published since the consumer's previous fetch,
 // skipping its own publications.
+//
+// Eviction: the pool is capped for long-running service deployments
+// (the same policy family as exec/prune_index). Each shard's log is a
+// ring over absolute positions: when full, the oldest lemma is dropped
+// (age) and erased from the dedup set, so a later re-discovery
+// re-publishes it (activity -- a lemma still being derived earns its
+// slot back). Cursors are absolute, so consumers simply skip the
+// evicted prefix; dropping a lemma only costs siblings a potential
+// acceleration, never a verdict (lemmas are implied facts).
 //
 // Soundness: every lemma is implied by the semantics of the expressions
 // it names, so importing one can never flip a verdict -- it only steers
@@ -28,6 +37,7 @@
 #define ACHILLES_EXEC_CLAUSE_EXCHANGE_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_set>
@@ -51,7 +61,9 @@ using Lemma = std::vector<smt::LemmaFingerprint>;
 class ClauseExchange
 {
   public:
-    explicit ClauseExchange(size_t shards = 16);
+    /** `lemma_cap` bounds the pooled lemmas across all shards
+     *  (0 = unbounded, the pre-eviction behavior). */
+    explicit ClauseExchange(size_t shards = 16, size_t lemma_cap = 0);
     ClauseExchange(const ClauseExchange &) = delete;
     ClauseExchange &operator=(const ClauseExchange &) = delete;
 
@@ -84,6 +96,10 @@ class ClauseExchange
     {
         return fetched_.load(std::memory_order_relaxed);
     }
+    int64_t evicted() const
+    {
+        return evicted_.load(std::memory_order_relaxed);
+    }
 
     /** Export counters ("exec.lemmas_published" et al.). */
     void ExportStats(StatsRegistry *stats) const;
@@ -110,16 +126,22 @@ class ClauseExchange
     struct Shard
     {
         std::mutex mutex;
-        std::vector<Entry> log;
+        /** Live window of the shard's publication history: absolute
+         *  positions [base, base + log.size()). */
+        std::deque<Entry> log;
+        size_t base = 0;
         std::unordered_set<Lemma, LemmaHash> dedup;
     };
 
     Shard &ShardFor(const Lemma &lemma);
 
     std::vector<std::unique_ptr<Shard>> shards_;
+    /** Per-shard live-entry cap (0 = unbounded). */
+    size_t per_shard_cap_ = 0;
     std::atomic<int64_t> published_{0};
     std::atomic<int64_t> duplicates_{0};
     std::atomic<int64_t> fetched_{0};
+    std::atomic<int64_t> evicted_{0};
 };
 
 /**

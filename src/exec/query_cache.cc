@@ -102,10 +102,13 @@ QueryCache::Lookup(const QueryCacheKey &key,
     *status = entry.status;
     if (model)
         *model = entry.model;
-    if (has_core)
-        *has_core = entry.has_core;
-    if (core)
-        *core = entry.core;
+    if (has_core) {
+        // Cores live in the shared pruning knowledge base, keyed (and
+        // verified) by the query's own fingerprint vector.
+        *has_core = entry.status == smt::CheckStatus::kUnsat &&
+                    prune_ != nullptr &&
+                    prune_->LookupQueryCore(fingerprints, core);
+    }
     return true;
 }
 
@@ -118,11 +121,18 @@ QueryCache::Insert(const QueryCacheKey &key,
 {
     if (status == smt::CheckStatus::kUnknown)
         return;  // may become decidable with a bigger budget; don't pin
+    if (has_core && prune_ != nullptr &&
+        status == smt::CheckStatus::kUnsat) {
+        // Single source of truth for core fingerprints: the shared
+        // pruning knowledge base. Cores of the same query may differ
+        // across solver histories -- any of them is a valid
+        // refutation, so the store's first-writer rule is fine.
+        prune_->RecordQueryCore(fingerprints, core);
+    }
     Shard &shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto [it, inserted] =
-        shard.map.try_emplace(key, Entry{status, has_model, has_core,
-                                         fingerprints, model, core});
+    auto [it, inserted] = shard.map.try_emplace(
+        key, Entry{status, has_model, fingerprints, model});
     if (inserted)
         return;
     Entry &entry = it->second;
@@ -138,14 +148,6 @@ QueryCache::Insert(const QueryCacheKey &key,
         // upgrade stores the same bytes.
         entry.model = model;
         entry.has_model = true;
-    }
-    if (has_core && !entry.has_core) {
-        // Core upgrade (an UNSAT first recorded off the model-producing
-        // fresh path carries no core; a later incremental answer does).
-        // Cores of the same query may differ across solver histories --
-        // any of them is a valid refutation, so first writer wins.
-        entry.core = core;
-        entry.has_core = true;
     }
 }
 
@@ -221,7 +223,8 @@ CachedSolver::CheckShared(const std::vector<smt::ExprRef> &base,
     bool has_core = false;
     QueryFingerprints core_fps;
     if (cache_->Lookup(key, fingerprints, model != nullptr, &status,
-                       model, &has_core, &core_fps)) {
+                       model, core_path ? &has_core : nullptr,
+                       core_path ? &core_fps : nullptr)) {
         // Counted once, in the cache's own hit counter (exported as
         // "exec.queries_cached" by ExportStats) -- a per-solver bump
         // here would double-count after the merge.

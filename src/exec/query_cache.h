@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/prune_index.h"
 #include "smt/solver.h"
 #include "support/stats.h"
 
@@ -74,6 +75,14 @@ class QueryCache
     QueryCache &operator=(const QueryCache &) = delete;
 
     /**
+     * Delegate unsat-core storage to the shared pruning knowledge base
+     * (the single source of truth for core fingerprints). Without an
+     * index, kUnsat entries are cached core-less: hits still answer the
+     * verdict, callers just cannot accelerate off a replayed core.
+     */
+    void SetPruneIndex(PruneIndex *index) { prune_ = index; }
+
+    /**
      * Compute the canonical key for an assertion set (optionally split
      * as assertions ∪ extras, mirroring CheckSatAssuming, so hot
      * callers need not concatenate), plus the sorted per-assertion
@@ -93,10 +102,12 @@ class QueryCache
      * when `want_model` is set, a kSat entry to actually carry a model
      * (entries published by the model-less incremental solving path do
      * not; the caller re-solves on the deterministic model-producing
-     * path and upgrades the entry via Insert). kUnsat entries may carry
-     * the unsat core as the fingerprints of the implicated assertions
-     * (`*has_core`/`*core`); like everything else in an entry the core
-     * is only meaningful because the full fingerprint vector matched.
+     * path and upgrades the entry via Insert). For kUnsat answers the
+     * unsat core -- stored in the attached PruneIndex, not in the entry
+     * -- is replayed as the fingerprints of the implicated assertions
+     * (`*has_core`/`*core`); the core store verifies the full query
+     * fingerprint vector itself, so a replayed core always belongs to
+     * exactly this assertion set.
      */
     bool Lookup(const QueryCacheKey &key,
                 const QueryFingerprints &fingerprints, bool want_model,
@@ -105,11 +116,11 @@ class QueryCache
 
     /**
      * Publish a result (kUnknown results are not stored). Re-inserting
-     * an existing entry with `has_model` (resp. `has_core`) set
-     * upgrades a model-less (core-less) entry in place;
-     * fingerprint-mismatched keys are left untouched. `core` holds the
-     * sorted fingerprints of the core assertions for kUnsat answers
-     * decided by the incremental backend.
+     * an existing entry with `has_model` set upgrades a model-less
+     * entry in place; fingerprint-mismatched keys are left untouched.
+     * `core` holds the sorted fingerprints of the core assertions for
+     * kUnsat answers decided by the incremental backend; it is handed
+     * to the attached PruneIndex (first writer wins there too).
      */
     void Insert(const QueryCacheKey &key,
                 const QueryFingerprints &fingerprints,
@@ -136,11 +147,8 @@ class QueryCache
     {
         smt::CheckStatus status = smt::CheckStatus::kUnknown;
         bool has_model = false;
-        bool has_core = false;
         QueryFingerprints fingerprints;
         smt::Model model;
-        /** Sorted fingerprints of the core assertions (kUnsat only). */
-        QueryFingerprints core;
     };
     struct KeyHash
     {
@@ -158,6 +166,7 @@ class QueryCache
     Shard &ShardFor(const QueryCacheKey &key);
 
     std::vector<std::unique_ptr<Shard>> shards_;
+    PruneIndex *prune_ = nullptr;
     std::atomic<int64_t> hits_{0};
     std::atomic<int64_t> misses_{0};
     std::atomic<int64_t> collisions_{0};

@@ -37,14 +37,24 @@ ParallelEngine::Run()
     // every worker context; only queries confined to these variables may
     // use the shared cache (worker-local variable ids are ambiguous).
     const uint32_t shared_var_limit = home_->NumVars();
+    // The shared pruning knowledge base: Trojan-core subsumption and
+    // the differentFrom overlay for the explorer's planes, delegated
+    // core storage for the query cache. Portability of its fingerprints
+    // follows the same id-alignment rule as the cache's keys.
+    prune_config_.shared_var_limit = shared_var_limit;
+    prune_index_ = std::make_unique<PruneIndex>(prune_config_);
     cache_ = std::make_unique<QueryCache>();
+    cache_->SetPruneIndex(prune_index_.get());
     // The learned-clause exchange shares one worker's short refutation
     // lemmas with its siblings. Only meaningful with siblings to share
     // with, and only wired when the incremental backends that produce
     // the lemmas are on.
     if (n > 1 && solver_config_.share_learned_clauses &&
         solver_config_.enable_incremental) {
-        clause_exchange_ = std::make_unique<ClauseExchange>();
+        clause_exchange_ = std::make_unique<ClauseExchange>(
+            16, solver_config_.lemma_pool_cap > 0
+                    ? static_cast<size_t>(solver_config_.lemma_pool_cap)
+                    : 0);
     }
 
     SchedulerConfig sched_config;
@@ -64,6 +74,7 @@ ParallelEngine::Run()
     for (size_t i = 0; i < n; ++i) {
         auto wc = std::make_unique<WorkerContext>();
         wc->worker_id = i;
+        wc->prune_index = prune_index_.get();
         wc->bridge =
             std::make_unique<ExprBridge>(home_, &wc->ctx, &home_mutex_);
         wc->bridge->MirrorHomeVars();
@@ -135,6 +146,7 @@ ParallelEngine::Run()
                      });
     scheduler_->ExportStats(&stats_);
     cache_->ExportStats(&stats_);
+    prune_index_->ExportStats(&stats_);
     if (clause_exchange_)
         clause_exchange_->ExportStats(&stats_);
     stats_.Set("exec.workers", static_cast<int64_t>(n));

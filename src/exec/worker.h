@@ -43,6 +43,7 @@
 
 #include "exec/clause_exchange.h"
 #include "exec/expr_transfer.h"
+#include "exec/prune_index.h"
 #include "exec/query_cache.h"
 #include "exec/scheduler.h"
 #include "smt/solver.h"
@@ -67,6 +68,10 @@ struct WorkerContext
     std::unique_ptr<symexec::Engine> engine;
     /** Worker-context replicas of the home incoming-message bytes. */
     std::vector<smt::ExprRef> incoming;
+    /** This worker's handle onto the run's shared pruning knowledge
+     *  base (Trojan-core subsumption, differentFrom overlay, delegated
+     *  query cores); identical pointer in every worker. */
+    PruneIndex *prune_index = nullptr;
 };
 
 /**
@@ -105,6 +110,13 @@ class ParallelEngine
         factory_ = factory;
     }
 
+    /** Override the pruning knowledge base's caps before Run (the
+     *  shared_var_limit field is recomputed at launch regardless). */
+    void SetPruneIndexConfig(PruneIndexConfig config)
+    {
+        prune_config_ = config;
+    }
+
     /**
      * Explore all paths with num_workers threads; returns one PathResult
      * per finished path, expressed in the home context and ordered by
@@ -119,6 +131,8 @@ class ParallelEngine
     QueryCache *query_cache() { return cache_.get(); }
     /** The shared lemma pool (null when the exchange is disabled). */
     ClauseExchange *clause_exchange() { return clause_exchange_.get(); }
+    /** The run's shared pruning knowledge base. */
+    PruneIndex *prune_index() { return prune_index_.get(); }
 
   private:
     void WorkerLoop(size_t worker_id);
@@ -132,6 +146,8 @@ class ParallelEngine
     std::vector<smt::ExprRef> incoming_;
 
     std::mutex home_mutex_;
+    PruneIndexConfig prune_config_;
+    std::unique_ptr<PruneIndex> prune_index_;
     std::unique_ptr<QueryCache> cache_;
     std::unique_ptr<ClauseExchange> clause_exchange_;
     std::unique_ptr<WorkStealingScheduler> scheduler_;

@@ -263,6 +263,16 @@ struct SolverConfig
      * this is the ablation toggle benches and tests flip.
      */
     bool share_learned_clauses = true;
+    /**
+     * Cap on the shared lemma pool's live entries (<= 0 = unbounded).
+     * The pool is append-only within the cap; beyond it the oldest
+     * lemma is evicted (and may re-earn its slot by being re-derived),
+     * bounding the exchange's memory for long-running service
+     * deployments. Evicting a lemma only costs siblings a potential
+     * acceleration -- lemmas are implied facts, so verdicts and witness
+     * bytes are unaffected by any cap.
+     */
+    int64_t lemma_pool_cap = 16384;
 
     /** True when queries run with no conflict budget of either kind --
      *  the precondition for the incremental backend and for every

@@ -288,6 +288,10 @@ TEST(QueryCacheCoreTest, CoresTranslateAcrossContexts)
     bridge.MirrorHomeVars();
 
     exec::QueryCache cache;
+    // Core storage is delegated to the pruning knowledge base; a cache
+    // without one still answers verdicts but replays no cores.
+    exec::PruneIndex prune;
+    cache.SetPruneIndex(&prune);
     const uint32_t limit = home.NumVars();
     exec::CachedSolver home_solver(&home, &cache, limit);
     exec::CachedSolver remote_solver(&remote, &cache, limit);
@@ -312,6 +316,8 @@ TEST(QueryCacheCoreTest, CoresTranslateAcrossContexts)
 TEST(QueryCacheCoreTest, CoreUpgradeFillsCorelessUnsatEntries)
 {
     exec::QueryCache cache;
+    exec::PruneIndex prune;
+    cache.SetPruneIndex(&prune);
     exec::QueryCacheKey key{21, 22};
     exec::QueryFingerprints fp{{1, 2}, {3, 4}};
     const exec::QueryFingerprints core{{3, 4}};
