@@ -37,6 +37,7 @@ main()
     config.server = &server;
     const core::AchillesResult result =
         core::RunAchilles(&ctx, &solver, config);
+    bench::RecordRunMetrics(result.report);
 
     // Build the (time, newly discovered type) sequence.
     struct Event

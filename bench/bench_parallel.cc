@@ -9,7 +9,19 @@
 //
 // Usage: bench_parallel [--clients N] [--workers 1,2,4,8]
 //                       [--clause-exchange] [--lemma-cap N]
-//                       [--json <path>]
+//                       [--json <path>] [--trace-out <path>]
+//                       [--progress[=secs]] [--obs-overhead]
+//
+// Observability: `--trace-out` re-runs the max-worker point with the
+// Chrome-trace recorder attached and writes the trace there (load it in
+// chrome://tracing or ui.perfetto.dev); `--progress` attaches the live
+// heartbeat to that run; with `--json`, the instrumented run's
+// RunReport lands as the nested "metrics" record. `--obs-overhead`
+// measures the full-instrumentation wall-clock cost at the max worker
+// count -- two paired off/on runs, the minimum pairwise overhead,
+// floored at zero -- and records it as obs.overhead_pct (the CI trend
+// gate holds this under an absolute ceiling). Witness sets must stay
+// identical with instrumentation on or off.
 //
 // `--clause-exchange` appends the learned-clause-exchange ablation:
 // every multi-worker point of the sweep reruns with the cross-worker
@@ -32,12 +44,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include <fstream>
+
 #include "bench/bench_util.h"
 #include "core/achilles.h"
+#include "obs/heartbeat.h"
 #include "proto/fsp/fsp_protocol.h"
 
 using namespace achilles;
@@ -61,18 +77,41 @@ struct SweepPoint
     int64_t lemmas_installed = 0;
     int64_t lemmas_evicted = 0;
     std::vector<WitnessSummary> witnesses;
+    obs::RunReport report;
+};
+
+/** Observability attachments for one RunOnce invocation. */
+struct ObsOptions
+{
+    bool metrics = false;
+    bool tracing = false;
+    double progress_secs = 0.0;  ///< 0 = heartbeat off
+    std::string trace_path;      ///< written when tracing is on
 };
 
 /** `lemma_cap` < 0 keeps the SolverConfig default. */
 SweepPoint
 RunOnce(size_t workers, size_t num_clients, bool clause_exchange = true,
-        int64_t lemma_cap = -1)
+        int64_t lemma_cap = -1, const ObsOptions &obs_opts = {})
 {
     smt::ExprContext ctx;
     smt::SolverConfig solver_config;
     solver_config.share_learned_clauses = clause_exchange;
     if (lemma_cap >= 0)
         solver_config.lemma_pool_cap = lemma_cap;
+
+    // Lane 0 is the pipeline thread; workers own lanes 1..N.
+    std::unique_ptr<obs::MetricsRegistry> registry;
+    std::unique_ptr<obs::TraceRecorder> tracer;
+    if (obs_opts.metrics)
+        registry = std::make_unique<obs::MetricsRegistry>(workers + 1);
+    if (obs_opts.tracing)
+        tracer = std::make_unique<obs::TraceRecorder>(workers + 1);
+    obs::ObsHandle obs_handle;
+    obs_handle.registry = registry.get();
+    obs_handle.tracer = tracer.get();
+    solver_config.obs = obs_handle;
+
     smt::Solver solver(&ctx, solver_config);
 
     const std::vector<symexec::Program> clients = fsp::MakeAllClients();
@@ -84,10 +123,29 @@ RunOnce(size_t workers, size_t num_clients, bool clause_exchange = true,
         config.clients.push_back(&clients[i]);
     config.server = &server;
     config.server_config.engine.num_workers = workers;
+    config.obs = obs_handle;
+
+    std::unique_ptr<obs::Heartbeat> heartbeat;
+    if (registry != nullptr && obs_opts.progress_secs > 0) {
+        heartbeat = std::make_unique<obs::Heartbeat>(
+            registry.get(), obs_opts.progress_secs);
+        heartbeat->Start();
+    }
 
     const AchillesResult result = RunAchilles(&ctx, &solver, config);
 
+    if (heartbeat != nullptr)
+        heartbeat->Stop();
+    if (tracer != nullptr && !obs_opts.trace_path.empty()) {
+        std::ofstream out(obs_opts.trace_path);
+        if (out.is_open())
+            tracer->WriteChromeTrace(out);
+        else
+            obs::LogError("bench: cannot write " + obs_opts.trace_path);
+    }
+
     SweepPoint point;
+    point.report = result.report;
     point.workers = workers;
     point.seconds = result.timings.server_analysis;
     point.trojans = result.server.trojans.size();
@@ -117,17 +175,28 @@ main(int argc, char **argv)
     bench::ParseBenchArgs(argc, argv);
     size_t num_clients = 8;
     bool exchange_ablation = false;
+    bool obs_overhead = false;
+    double progress_secs = 0.0;
+    std::string trace_path;
     int64_t lemma_cap = -1;
     std::vector<size_t> worker_counts{1, 2, 4, 8};
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--clause-exchange") == 0)
             exchange_ablation = true;
+        else if (std::strcmp(argv[i], "--obs-overhead") == 0)
+            obs_overhead = true;
+        else if (std::strcmp(argv[i], "--progress") == 0)
+            progress_secs = 1.0;
+        else if (std::strncmp(argv[i], "--progress=", 11) == 0)
+            progress_secs = std::atof(argv[i] + 11);
     }
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--clients") == 0) {
             num_clients = static_cast<size_t>(std::atoi(argv[i + 1]));
         } else if (std::strcmp(argv[i], "--lemma-cap") == 0) {
             lemma_cap = std::atoll(argv[i + 1]);
+        } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+            trace_path = argv[i + 1];
         } else if (std::strcmp(argv[i], "--workers") == 0) {
             worker_counts.clear();
             for (const char *p = argv[i + 1]; *p != '\0';) {
@@ -242,6 +311,57 @@ main(int argc, char **argv)
                     "prefix travel, and interval-refutable conflicts "
                     "never reach the SAT backend that exports)");
     }
+    if (obs_overhead || progress_secs > 0 || !trace_path.empty()) {
+        bench::Section("observability");
+        const size_t max_workers = worker_counts.back();
+        ObsOptions full;
+        full.metrics = true;
+        full.tracing = true;
+        full.progress_secs = progress_secs;
+        full.trace_path = trace_path;
+        const SweepPoint instrumented =
+            RunOnce(max_workers, num_clients, true, lemma_cap, full);
+        identical &= instrumented.witnesses == serial.witnesses;
+        std::printf("  instrumented run (%zu workers): %.3f s, "
+                    "%lld trace events (%lld dropped)\n",
+                    max_workers, instrumented.seconds,
+                    static_cast<long long>(
+                        instrumented.report.Get("obs.trace_events")),
+                    static_cast<long long>(
+                        instrumented.report.Get("obs.trace_dropped")));
+        // The instrumented run's full observability summary rides the
+        // JSON artifact as the nested "metrics" record.
+        bench::RecordRunMetrics(instrumented.report);
+
+        if (obs_overhead) {
+            // Two paired off/on runs; the minimum pairwise overhead
+            // discounts one-off scheduling noise, and the zero floor
+            // keeps lucky negative deltas from masking a regression
+            // elsewhere in the trend history.
+            ObsOptions quiet = full;
+            quiet.progress_secs = 0.0;  // no sampler thread in the
+            quiet.trace_path.clear();   // timed region, no file I/O
+            double overhead_pct = 1e9;
+            for (int round = 0; round < 2; ++round) {
+                const SweepPoint off =
+                    RunOnce(max_workers, num_clients, true, lemma_cap);
+                const SweepPoint on = RunOnce(max_workers, num_clients,
+                                              true, lemma_cap, quiet);
+                identical &= off.witnesses == serial.witnesses &&
+                             on.witnesses == serial.witnesses;
+                if (off.seconds > 0) {
+                    overhead_pct = std::min(
+                        overhead_pct, 100.0 *
+                                          (on.seconds - off.seconds) /
+                                          off.seconds);
+                }
+            }
+            overhead_pct =
+                overhead_pct >= 1e9 ? 0.0 : std::max(0.0, overhead_pct);
+            bench::Metric("obs.overhead_pct", overhead_pct, "%");
+        }
+    }
+
     // Recorded after the ablation so the archived verdict covers every
     // witness-set comparison this process made.
     bench::Metric("parallel.witness_sets_identical", identical ? 1 : 0);

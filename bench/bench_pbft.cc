@@ -44,6 +44,7 @@ main()
     config.server = &replica;
     const core::AchillesResult result =
         core::RunAchilles(&ctx, &solver, config);
+    bench::RecordRunMetrics(result.report);
 
     bench::Section("analysis summary");
     std::printf("  total time: %.3f s (client %.3f + preprocess %.3f + "

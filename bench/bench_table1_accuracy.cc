@@ -42,6 +42,7 @@ main()
     config.server = &server;
     const core::AchillesResult result =
         core::RunAchilles(&ctx, &solver, config);
+    bench::RecordRunMetrics(result.report);
 
     std::set<fsp::LengthTrojanType> achilles_types;
     size_t achilles_fp = 0;

@@ -8,7 +8,10 @@
 // record numbers through Metric(); with `--json <path>` on the command
 // line every metric is also written to <path> as a JSON array of
 // {"metric": ..., "value": ...} records, so successive PRs can track the
-// perf trajectory (BENCH_*.json) without scraping stdout.
+// perf trajectory (BENCH_*.json) without scraping stdout. A run's
+// observability summary (obs::RunReport) travels as one nested record,
+// {"metric": "metrics", "nested": {...}} -- the trend script flattens
+// its entries to "metrics.<name>", so flat lookups keep working.
 
 #ifndef ACHILLES_BENCH_BENCH_UTIL_H_
 #define ACHILLES_BENCH_BENCH_UTIL_H_
@@ -17,6 +20,9 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/log.h"
+#include "obs/run_report.h"
 
 namespace achilles {
 namespace bench {
@@ -42,27 +48,56 @@ class JsonRecorder
             records_.emplace_back(metric, value);
     }
 
+    /**
+     * Record one nested object, emitted as
+     * {"metric": <metric>, "nested": {name: value, ...}}. Used for the
+     * run's observability summary so dozens of obs counters do not
+     * crowd the flat record list.
+     */
+    void
+    RecordNested(const std::string &metric,
+                 std::vector<std::pair<std::string, double>> entries)
+    {
+        if (enabled())
+            nested_.emplace_back(metric, std::move(entries));
+    }
+
     /** Write all records; called automatically at program exit. */
     void
     Flush()
     {
-        if (!enabled() || records_.empty())
+        if (!enabled() || (records_.empty() && nested_.empty()))
             return;
         std::FILE *f = std::fopen(path_.c_str(), "w");
         if (f == nullptr) {
-            std::fprintf(stderr, "bench: cannot write %s\n",
-                         path_.c_str());
+            obs::LogError("bench: cannot write " + path_);
             return;
         }
+        const size_t total = records_.size() + nested_.size();
+        size_t written = 0;
         std::fprintf(f, "[\n");
         for (size_t i = 0; i < records_.size(); ++i) {
+            ++written;
             std::fprintf(f, "  {\"metric\": \"%s\", \"value\": %.9g}%s\n",
                          records_[i].first.c_str(), records_[i].second,
-                         i + 1 < records_.size() ? "," : "");
+                         written < total ? "," : "");
+        }
+        for (size_t i = 0; i < nested_.size(); ++i) {
+            ++written;
+            std::fprintf(f, "  {\"metric\": \"%s\", \"nested\": {",
+                         nested_[i].first.c_str());
+            const auto &entries = nested_[i].second;
+            for (size_t j = 0; j < entries.size(); ++j) {
+                std::fprintf(f, "%s\"%s\": %.9g", j > 0 ? ", " : "",
+                             entries[j].first.c_str(),
+                             entries[j].second);
+            }
+            std::fprintf(f, "}}%s\n", written < total ? "," : "");
         }
         std::fprintf(f, "]\n");
         std::fclose(f);
         records_.clear();
+        nested_.clear();
     }
 
     ~JsonRecorder() { Flush(); }
@@ -71,6 +106,9 @@ class JsonRecorder
     JsonRecorder() = default;
     std::string path_;
     std::vector<std::pair<std::string, double>> records_;
+    std::vector<std::pair<std::string,
+                          std::vector<std::pair<std::string, double>>>>
+        nested_;
 };
 
 /** Handle shared harness flags; currently `--json <path>`. */
@@ -113,6 +151,19 @@ Metric(const std::string &name, double value,
     std::printf("  %-40s %12.4f%s%s\n", name.c_str(), value,
                 unit.empty() ? "" : " ", unit.c_str());
     JsonRecorder::Instance().Record(name, value);
+}
+
+/**
+ * Fold a run's observability summary into the `--json` artifact as the
+ * nested "metrics" record. No-op when the report is empty (obs off) or
+ * `--json` was not given.
+ */
+inline void
+RecordRunMetrics(const obs::RunReport &report)
+{
+    if (!report.empty())
+        JsonRecorder::Instance().RecordNested("metrics",
+                                              report.metrics());
 }
 
 }  // namespace bench

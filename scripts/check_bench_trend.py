@@ -25,8 +25,18 @@ markers fall back to metric presence. Metrics absent from the baseline
 (e.g. fig11.* before the artifact accumulated, or the ablations added
 later) are reported one-sided and skipped -- warn-only by construction.
 
+Nested records: {"metric": <name>, "nested": {...}} (the benches'
+observability summary) flattens to "<name>.<key>" entries, so flat
+lookups and the watch patterns keep working.
+
+Absolute ceilings: some metrics are gated against a fixed bound rather
+than the baseline -- obs.overhead_pct (the observability layer's
+measured wall-clock cost) must stay under 5%. Ceilings apply to the
+current records alone, so they hold even on first runs with no
+baseline artifact.
+
 Exit codes: 0 ok / nothing to compare (first run, forks), 1 regression
-(suppressed by --warn-only), 2 usage error.
+or ceiling violation (suppressed by --warn-only), 2 usage error.
 """
 
 import argparse
@@ -50,6 +60,10 @@ SWEEP_METRIC_PREFIXES = (
     "parallel.clause_exchange_speedup/workers=",
 )
 SWEEP_MARKER_PREFIX = "parallel.swept/workers="
+# metric -> highest acceptable value, checked against current alone.
+CEILING_METRICS = {
+    "obs.overhead_pct": 5.0,
+}
 
 
 def record_value(record):
@@ -76,8 +90,14 @@ def load_records(paths):
             continue
         for record in records:
             try:
-                value = record_value(record)
                 metric = str(record["metric"])
+                if "nested" in record:
+                    # Observability summary: one object of name -> value
+                    # entries, flattened to "<metric>.<name>".
+                    for name, value in dict(record["nested"]).items():
+                        merged[f"{metric}.{name}"] = float(value)
+                    continue
+                value = record_value(record)
             except (KeyError, TypeError, ValueError):
                 print(f"trend: malformed record in {path}: {record!r}")
                 continue
@@ -113,6 +133,17 @@ def comparable(metric, current, baseline):
     return True
 
 
+def ceiling_violations(current):
+    """(metric, value, ceiling) for every current metric over its
+    absolute bound. Absent metrics pass (the bench may not have run
+    with the relevant flag)."""
+    return [
+        (metric, current[metric], ceiling)
+        for metric, ceiling in sorted(CEILING_METRICS.items())
+        if metric in current and current[metric] > ceiling
+    ]
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", nargs="+", type=pathlib.Path,
@@ -136,6 +167,16 @@ def main():
     if not current:
         print("trend: no current records; nothing to gate")
         return 0
+
+    # Absolute ceilings hold with or without a baseline.
+    ceilings = ceiling_violations(current)
+    for metric, value, ceiling in ceilings:
+        print(f"trend: {metric} = {value:.3f} exceeds its absolute "
+              f"ceiling of {ceiling:.3f}")
+    if ceilings and not args.warn_only:
+        return 1
+    if ceilings:
+        print("trend: --warn-only set; not failing the job")
 
     baseline_files = (sorted(args.baseline_dir.glob("*.json"))
                       if args.baseline_dir.is_dir() else [])

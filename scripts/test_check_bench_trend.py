@@ -120,5 +120,63 @@ class GateTest(unittest.TestCase):
         self.assertEqual(code, 0, out)
 
 
+class NestedRecordTest(unittest.TestCase):
+    def test_nested_record_flattens_with_metric_prefix(self):
+        # Drive through the file loader, as CI does.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "r.json"
+            path.write_text(json.dumps([
+                {"metric": "metrics",
+                 "nested": {"solver.queries": 53, "cache.hits": 8.5}},
+                {"metric": "parallel.trojans", "value": 3.0}]))
+            merged = check_bench_trend.load_records([path])
+        self.assertEqual(merged["metrics.solver.queries"], 53.0)
+        self.assertEqual(merged["metrics.cache.hits"], 8.5)
+        self.assertEqual(merged["parallel.trojans"], 3.0)
+
+    def test_malformed_nested_record_is_skipped(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "r.json"
+            path.write_text(json.dumps([
+                {"metric": "metrics", "nested": {"k": "not-a-number"}},
+                {"metric": "ok", "value": 1.0}]))
+            merged = check_bench_trend.load_records([path])
+        self.assertEqual(merged, {"ok": 1.0})
+
+
+class CeilingTest(unittest.TestCase):
+    def test_overhead_within_ceiling_passes(self):
+        code, out = run_gate(
+            current=[{"metric": "obs.overhead_pct", "value": 2.5}],
+            baseline=None)
+        self.assertEqual(code, 0, out)
+
+    def test_overhead_over_ceiling_fails_without_baseline(self):
+        # The ceiling is absolute: it must hold even on a first run
+        # with no baseline artifact to compare against.
+        code, out = run_gate(
+            current=[{"metric": "obs.overhead_pct", "value": 7.5}],
+            baseline=None)
+        self.assertEqual(code, 1, out)
+        self.assertIn("ceiling", out)
+
+    def test_overhead_over_ceiling_warn_only_passes(self):
+        code, out = run_gate(
+            current=[{"metric": "obs.overhead_pct", "value": 7.5}],
+            baseline=None,
+            extra_args=("--warn-only",))
+        self.assertEqual(code, 0, out)
+        self.assertIn("ceiling", out)
+
+    def test_absent_overhead_metric_passes(self):
+        self.assertEqual(
+            check_bench_trend.ceiling_violations({"other": 100.0}), [])
+
+    def test_violation_reports_metric_value_and_bound(self):
+        violations = check_bench_trend.ceiling_violations(
+            {"obs.overhead_pct": 6.0})
+        self.assertEqual(violations, [("obs.overhead_pct", 6.0, 5.0)])
+
+
 if __name__ == "__main__":
     unittest.main()

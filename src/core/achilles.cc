@@ -2,6 +2,7 @@
 
 #include "core/achilles.h"
 
+#include "obs/trace.h"
 #include "support/timer.h"
 
 namespace achilles {
@@ -14,16 +15,31 @@ RunAchilles(smt::ExprContext *ctx, smt::Solver *solver,
     ACHILLES_CHECK(config.server != nullptr, "no server program");
     ACHILLES_CHECK(!config.clients.empty(), "no client programs");
 
+    // Propagate the pipeline's obs handle into the phase configs unless
+    // a caller already wired those explicitly.
+    ClientExtractorConfig client_config = config.client_config;
+    if (!client_config.engine.obs.enabled())
+        client_config.engine.obs = config.obs;
+    ServerExplorerConfig server_config = config.server_config;
+    if (!server_config.engine.obs.enabled())
+        server_config.engine.obs = config.obs;
+
     AchillesResult result;
     Timer timer;
 
     // Phase 1: client predicate extraction.
-    result.client_predicate = ExtractClientPredicate(
-        ctx, solver, config.clients, config.layout, config.client_config);
+    {
+        obs::ScopedSpan span(config.obs.tracer, config.obs.lane,
+                             "phase.client_extraction", "pipeline");
+        result.client_predicate = ExtractClientPredicate(
+            ctx, solver, config.clients, config.layout, client_config);
+        span.AddArg("paths", static_cast<int64_t>(
+                                 result.client_predicate.paths.size()));
+    }
     result.timings.client_extraction = timer.Seconds();
     result.preprocessing_stats.Set(
         "achilles.client_workers",
-        static_cast<int64_t>(config.client_config.engine.num_workers));
+        static_cast<int64_t>(client_config.engine.num_workers));
 
     // Preprocessing: negations + differentFrom. The negate operator
     // needs the server's symbolic message up front, so the explorer is
@@ -38,17 +54,26 @@ RunAchilles(smt::ExprContext *ctx, smt::Solver *solver,
     for (uint32_t i = 0; i < config.layout.length(); ++i)
         server_message.push_back(ctx->FreshVar("msg", 8));
 
-    NegateOperator negate_op(ctx, solver, &config.layout, server_message);
-    result.negations.reserve(result.client_predicate.paths.size());
-    for (const ClientPathPredicate &pred : result.client_predicate.paths)
-        result.negations.push_back(negate_op.Negate(pred));
+    {
+        obs::ScopedSpan span(config.obs.tracer, config.obs.lane,
+                             "phase.preprocessing", "pipeline");
+        NegateOperator negate_op(ctx, solver, &config.layout,
+                                 server_message);
+        result.negations.reserve(result.client_predicate.paths.size());
+        for (const ClientPathPredicate &pred :
+             result.client_predicate.paths)
+            result.negations.push_back(negate_op.Negate(pred));
 
-    if (config.compute_different_from &&
-        config.server_config.use_different_from) {
-        different_from.Compute(result.client_predicate.paths, &negate_op);
-        result.preprocessing_stats.Merge(different_from.stats());
+        if (config.compute_different_from &&
+            server_config.use_different_from) {
+            different_from.Compute(result.client_predicate.paths,
+                                   &negate_op);
+            result.preprocessing_stats.Merge(different_from.stats());
+        }
+        result.negate_stats = negate_op.stats();
+        span.AddArg("negations",
+                    static_cast<int64_t>(result.negations.size()));
     }
-    result.negate_stats = negate_op.stats();
     result.timings.preprocessing = timer.Seconds();
 
     // Phase 2: server analysis. With num_workers > 1 this phase -- the
@@ -56,15 +81,34 @@ RunAchilles(smt::ExprContext *ctx, smt::Solver *solver,
     // work-stealing worker pool; the timing below is wall-clock either
     // way, so speedup shows up directly in the phase breakdown.
     timer.Reset();
-    ServerExplorer explorer(ctx, solver, config.server, &config.layout,
-                            &result.client_predicate.paths,
-                            &result.negations, &different_from,
-                            config.server_config, server_message);
-    result.server = explorer.Run();
+    {
+        obs::ScopedSpan span(config.obs.tracer, config.obs.lane,
+                             "phase.server_analysis", "pipeline");
+        ServerExplorer explorer(ctx, solver, config.server, &config.layout,
+                                &result.client_predicate.paths,
+                                &result.negations, &different_from,
+                                server_config, server_message);
+        result.server = explorer.Run();
+        span.AddArg("trojans",
+                    static_cast<int64_t>(result.server.trojans.size()));
+    }
     result.timings.server_analysis = timer.Seconds();
     result.server.stats.Set(
         "achilles.server_workers",
-        static_cast<int64_t>(config.server_config.engine.num_workers));
+        static_cast<int64_t>(server_config.engine.num_workers));
+
+    // Fold the run's observability into the result: the merge-at-join
+    // bags first, the live registry's aggregate last -- a few names
+    // (e.g. solver.queries) exist in both, and the registry's value is
+    // the run-wide total where the home solver's bag only saw the
+    // serial phases.
+    result.report.Add(result.preprocessing_stats);
+    result.report.Add(result.server.stats);
+    result.report.Add(solver->stats());
+    if (config.obs.metrics_on())
+        result.report.Add(*config.obs.registry);
+    if (config.obs.tracing_on())
+        result.report.AddTrace(*config.obs.tracer);
     return result;
 }
 

@@ -19,6 +19,8 @@
 #include "core/message.h"
 #include "core/negate.h"
 #include "core/server_explorer.h"
+#include "obs/obs.h"
+#include "obs/run_report.h"
 #include "smt/solver.h"
 #include "symexec/program.h"
 
@@ -35,6 +37,17 @@ struct AchillesConfig
     ServerExplorerConfig server_config;
     /** Compute the differentFrom matrix (preprocessing, 3.3 opt 2). */
     bool compute_different_from = true;
+    /**
+     * Observability sinks for the whole pipeline (src/obs/obs.h). When
+     * set, RunAchilles records one span per pipeline phase on lane 0,
+     * propagates the handle into the client-extraction and
+     * server-exploration engine configs (unless those already carry
+     * one), and folds the registry's aggregate plus trace accounting
+     * into AchillesResult::report. The solver's own instrumentation is
+     * configured at solver construction (SolverConfig::obs) -- pass the
+     * same registry/tracer there.
+     */
+    obs::ObsHandle obs;
 };
 
 /** Wall-clock seconds per pipeline phase (paper Section 6.2 breakdown). */
@@ -58,6 +71,9 @@ struct AchillesResult
     PhaseTimings timings;
     NegateStats negate_stats;
     StatsRegistry preprocessing_stats;
+    /** End-of-run observability summary (empty when AchillesConfig::obs
+     *  is unset): registry aggregate, merge-at-join bags, trace volume. */
+    obs::RunReport report;
 };
 
 /** Run the complete Achilles pipeline. */

@@ -88,6 +88,9 @@ class ServerExplorer::WorkerListener : public symexec::Listener
         p.trojans = &trojans_;
         p.prune = prune_;
         p.worker_id = wc_->worker_id;
+        // Worker w bumps/traces on obs lane 1 + w, matching the lane
+        // numbering the ParallelEngine gives its engines and solvers.
+        p.obs = owner_->config_.engine.obs.ForLane(wc_->worker_id + 1);
         return p;
     }
 
@@ -255,6 +258,7 @@ ServerExplorer::HomePlane()
     p.trojans = &analysis_.trojans;
     p.prune = home_prune_.get();
     p.worker_id = 0;
+    p.obs = config_.engine.obs;
     return p;
 }
 
@@ -628,6 +632,9 @@ ServerExplorer::HandleBranch(Plane &plane, symexec::State &state,
                         path_fps_ok ? &path_fps : nullptr);
         if (r == smt::CheckResult::kUnsat) {
             plane.stats->Bump("explorer.states_pruned");
+            obs::TraceInstant(plane.obs.tracer, plane.obs.lane,
+                              "explorer.state_pruned", "explorer", "state",
+                              static_cast<int64_t>(state.id()));
             return false;
         }
     }
@@ -662,6 +669,9 @@ ServerExplorer::EmitTrojan(Plane &plane, const symexec::State &state,
     witness.path_depth = state.depth();
     plane.trojans->push_back(std::move(witness));
     plane.stats->Bump("explorer.trojans");
+    obs::TraceInstant(plane.obs.tracer, plane.obs.lane,
+                      "explorer.trojan_witness", "explorer", "path",
+                      static_cast<int64_t>(state.id()));
 }
 
 void
@@ -747,12 +757,42 @@ ServerExplorer::Run()
     if (config_.engine.num_workers > 1) {
         paths = RunParallel();
     } else {
+        // Serial runs own their prune index here (parallel runs get
+        // theirs from ParallelEngine, which registers its own gauges);
+        // expose it to the heartbeat for the duration of the run, then
+        // freeze so the gauges never outlive home_prune_ as live reads.
+        const bool gauges = config_.engine.obs.metrics_on() &&
+                            home_prune_ != nullptr;
+        if (gauges) {
+            obs::MetricsRegistry *reg = config_.engine.obs.registry;
+            const exec::PruneIndex *prune = home_prune_.get();
+            reg->RegisterGauge("prune.core_hits",
+                               [prune] { return prune->core_hits(); });
+            reg->RegisterGauge("prune.overlay_hits",
+                               [prune] { return prune->overlay_hits(); });
+            reg->RegisterGauge("prune.core_probes",
+                               [prune] { return prune->core_probes(); });
+            reg->RegisterGauge("prune.overlay_probes", [prune] {
+                return prune->overlay_probes();
+            });
+        }
         symexec::Engine engine(ctx_, solver_, server_,
                                symexec::Mode::kServer, config_.engine);
         engine.SetIncomingMessage(message_);
         engine.SetListener(this);
         paths = engine.Run();
         analysis_.stats.Merge(engine.stats());
+        if (gauges) {
+            obs::MetricsRegistry *reg = config_.engine.obs.registry;
+            const auto freeze = [reg](const std::string &name,
+                                      int64_t value) {
+                reg->RegisterGauge(name, [value] { return value; });
+            };
+            freeze("prune.core_hits", home_prune_->core_hits());
+            freeze("prune.overlay_hits", home_prune_->overlay_hits());
+            freeze("prune.core_probes", home_prune_->core_probes());
+            freeze("prune.overlay_probes", home_prune_->overlay_probes());
+        }
     }
 
     for (symexec::PathResult &path : paths) {

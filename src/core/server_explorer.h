@@ -232,6 +232,9 @@ class ServerExplorer : public symexec::Listener
         /** The shared pruning knowledge base (null = disabled). */
         exec::PruneIndex *prune;
         size_t worker_id;
+        /** Observability sinks addressed to this plane's lane (inert
+         *  when the run carries none). */
+        obs::ObsHandle obs;
     };
 
     Plane HomePlane();

@@ -196,6 +196,7 @@ bool
 PruneIndex::SubsumesCore(size_t consumer, const PruneFpVec &primary_set,
                          const PruneFpVec &secondary_set)
 {
+    core_probes_.fetch_add(1, std::memory_order_relaxed);
     return Probe(&cores_, consumer, primary_set, secondary_set, nullptr,
                  &core_hits_);
 }
@@ -214,6 +215,7 @@ PruneIndex::OverlaySubsumes(size_t consumer, const PruneFpVec &path_set,
                             const PruneFpVec &match_set,
                             uint64_t *field_token)
 {
+    overlay_probes_.fetch_add(1, std::memory_order_relaxed);
     return Probe(&overlay_, consumer, path_set, match_set, field_token,
                  &overlay_hits_);
 }
@@ -331,6 +333,8 @@ PruneIndex::ExportStats(StatsRegistry *stats) const
 {
     stats->Bump("prune.cores_recorded", Load(cores_recorded_));
     stats->Bump("prune.core_hits", Load(core_hits_));
+    stats->Bump("prune.core_probes", Load(core_probes_));
+    stats->Bump("prune.overlay_probes", Load(overlay_probes_));
     stats->Bump("prune.overlay_edges", Load(overlay_recorded_));
     stats->Bump("prune.overlay_hits", Load(overlay_hits_));
     stats->Bump("prune.query_cores_recorded",

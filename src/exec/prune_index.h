@@ -192,6 +192,8 @@ class PruneIndex
 
     int64_t core_hits() const { return Load(core_hits_); }
     int64_t overlay_hits() const { return Load(overlay_hits_); }
+    int64_t core_probes() const { return Load(core_probes_); }
+    int64_t overlay_probes() const { return Load(overlay_probes_); }
     int64_t cross_worker_hits() const { return Load(cross_hits_); }
     int64_t evictions() const { return Load(evictions_); }
 
@@ -290,6 +292,8 @@ class PruneIndex
     std::atomic<int64_t> query_cores_recorded_{0};
     std::atomic<int64_t> core_hits_{0};
     std::atomic<int64_t> overlay_hits_{0};
+    std::atomic<int64_t> core_probes_{0};
+    std::atomic<int64_t> overlay_probes_{0};
     std::atomic<int64_t> query_core_hits_{0};
     std::atomic<int64_t> cross_hits_{0};
     std::atomic<int64_t> evictions_{0};

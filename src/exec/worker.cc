@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/log.h"
+
 namespace achilles {
 namespace exec {
 
@@ -64,6 +66,49 @@ ParallelEngine::Run()
     sched_config.max_queued_states = config_.max_states;
     scheduler_ = std::make_unique<WorkStealingScheduler>(sched_config);
 
+    // Absorb the shared components' existing lock-free counters into the
+    // run's metrics registry as gauges: the heartbeat's sampler reads
+    // them live without the components' hot paths ever touching the
+    // registry. (RegisterGauge replaces by name, so the scheduler's
+    // queued-state count overrides any serial engine.frontier gauge.)
+    if (config_.obs.metrics_on()) {
+        obs::MetricsRegistry *reg = config_.obs.registry;
+        const QueryCache *cache = cache_.get();
+        reg->RegisterGauge("cache.hits", [cache] { return cache->hits(); });
+        reg->RegisterGauge("cache.misses",
+                           [cache] { return cache->misses(); });
+        reg->RegisterGauge("cache.collisions",
+                           [cache] { return cache->collisions(); });
+        const PruneIndex *prune = prune_index_.get();
+        reg->RegisterGauge("prune.core_hits",
+                           [prune] { return prune->core_hits(); });
+        reg->RegisterGauge("prune.overlay_hits",
+                           [prune] { return prune->overlay_hits(); });
+        reg->RegisterGauge("prune.core_probes",
+                           [prune] { return prune->core_probes(); });
+        reg->RegisterGauge("prune.overlay_probes",
+                           [prune] { return prune->overlay_probes(); });
+        reg->RegisterGauge("prune.cross_worker_hits",
+                           [prune] { return prune->cross_worker_hits(); });
+        reg->RegisterGauge("prune.evictions",
+                           [prune] { return prune->evictions(); });
+        const WorkStealingScheduler *sched = scheduler_.get();
+        reg->RegisterGauge("engine.frontier", [sched] {
+            return static_cast<int64_t>(sched->queued());
+        });
+        reg->RegisterGauge("exec.states_stolen",
+                           [sched] { return sched->states_stolen(); });
+        if (clause_exchange_) {
+            const ClauseExchange *pool = clause_exchange_.get();
+            reg->RegisterGauge("lemmas.published",
+                               [pool] { return pool->published(); });
+            reg->RegisterGauge("lemmas.fetched",
+                               [pool] { return pool->fetched(); });
+            reg->RegisterGauge("lemmas.evicted",
+                               [pool] { return pool->evicted(); });
+        }
+    }
+
     // Per-worker engines explore disjoint subtrees; ids must therefore
     // come from the fork tree, not from per-engine counters.
     symexec::EngineConfig engine_config = config_;
@@ -74,11 +119,15 @@ ParallelEngine::Run()
     for (size_t i = 0; i < n; ++i) {
         auto wc = std::make_unique<WorkerContext>();
         wc->worker_id = i;
+        // Worker w owns obs lane 1 + w: its own metric shard and its own
+        // trace track (lane 0 stays with the main/pipeline thread).
+        engine_config.obs = config_.obs.ForLane(i + 1);
         wc->prune_index = prune_index_.get();
         wc->bridge =
             std::make_unique<ExprBridge>(home_, &wc->ctx, &home_mutex_);
         wc->bridge->MirrorHomeVars();
         smt::SolverConfig worker_config = solver_config_;
+        worker_config.obs = solver_config_.obs.ForLane(i + 1);
         if (clause_exchange_) {
             wc->clause_channel = std::make_unique<ClauseChannel>(
                 clause_exchange_.get(), i);
@@ -150,12 +199,43 @@ ParallelEngine::Run()
     if (clause_exchange_)
         clause_exchange_->ExportStats(&stats_);
     stats_.Set("exec.workers", static_cast<int64_t>(n));
+
+    // The gauges registered above read components this engine owns;
+    // freeze them to their final values so a heartbeat (or RunReport)
+    // sampling after this engine is destroyed reads constants, not
+    // dangling pointers.
+    if (config_.obs.metrics_on()) {
+        obs::MetricsRegistry *reg = config_.obs.registry;
+        const auto freeze = [reg](const std::string &name, int64_t value) {
+            reg->RegisterGauge(name, [value] { return value; });
+        };
+        freeze("cache.hits", cache_->hits());
+        freeze("cache.misses", cache_->misses());
+        freeze("cache.collisions", cache_->collisions());
+        freeze("prune.core_hits", prune_index_->core_hits());
+        freeze("prune.overlay_hits", prune_index_->overlay_hits());
+        freeze("prune.core_probes", prune_index_->core_probes());
+        freeze("prune.overlay_probes", prune_index_->overlay_probes());
+        freeze("prune.cross_worker_hits",
+               prune_index_->cross_worker_hits());
+        freeze("prune.evictions", prune_index_->evictions());
+        freeze("engine.frontier", 0);
+        freeze("exec.states_stolen", scheduler_->states_stolen());
+        if (clause_exchange_) {
+            freeze("lemmas.published", clause_exchange_->published());
+            freeze("lemmas.fetched", clause_exchange_->fetched());
+            freeze("lemmas.evicted", clause_exchange_->evicted());
+        }
+    }
     return results;
 }
 
 void
 ParallelEngine::WorkerLoop(size_t worker_id)
 {
+    // Tag this thread's log lines (and any Warn from the layers below)
+    // with the worker lane.
+    obs::ScopedLogWorkerId log_id(static_cast<int>(worker_id));
     WorkerContext &wc = *workers_[worker_id];
     WorkStealingScheduler::Batch batch;
     std::vector<std::unique_ptr<symexec::State>> spawned;

@@ -1,0 +1,116 @@
+// Achilles reproduction -- observability layer.
+
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace achilles {
+namespace obs {
+
+namespace {
+
+LogLevel
+ParseThreshold()
+{
+    const char *env = std::getenv("ACHILLES_LOG");
+    if (env == nullptr || *env == '\0')
+        return LogLevel::kInfo;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::kDebug;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::kInfo;
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "warning") == 0)
+        return LogLevel::kWarn;
+    if (std::strcmp(env, "error") == 0)
+        return LogLevel::kError;
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "none") == 0)
+        return LogLevel::kOff;
+    return LogLevel::kInfo;  // unknown value: keep the default
+}
+
+const char *
+LevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+      case LogLevel::kOff: return "off";
+    }
+    return "?";
+}
+
+thread_local int g_worker_id = -1;
+
+}  // namespace
+
+LogLevel
+LogThreshold()
+{
+    static const LogLevel threshold = ParseThreshold();
+    return threshold;
+}
+
+uint64_t
+LogRunId()
+{
+    // Derived once from the wall clock: distinct across runs, stable
+    // within one, short enough to grep for.
+    static const uint64_t run_id = [] {
+        const auto now =
+            std::chrono::system_clock::now().time_since_epoch();
+        const uint64_t ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now)
+                .count());
+        uint64_t h = ns * 0x9e3779b97f4a7c15ull;
+        h ^= h >> 32;
+        return h & 0xffffffull;
+    }();
+    return run_id;
+}
+
+void
+SetLogWorkerId(int worker_id)
+{
+    g_worker_id = worker_id;
+}
+
+int
+LogWorkerId()
+{
+    return g_worker_id;
+}
+
+void
+LogWrite(LogLevel level, const std::string &message)
+{
+    if (!LogEnabled(level) || level == LogLevel::kOff)
+        return;
+    // One buffer, one fwrite: stderr is unbuffered, so the whole line
+    // reaches the fd in a single write and concurrent workers cannot
+    // splice fragments into each other's lines.
+    char prefix[64];
+    if (g_worker_id >= 0) {
+        std::snprintf(prefix, sizeof(prefix),
+                      "[achilles %06llx w%d] %s: ",
+                      static_cast<unsigned long long>(LogRunId()),
+                      g_worker_id, LevelName(level));
+    } else {
+        std::snprintf(prefix, sizeof(prefix), "[achilles %06llx w-] %s: ",
+                      static_cast<unsigned long long>(LogRunId()),
+                      LevelName(level));
+    }
+    std::string line;
+    line.reserve(std::strlen(prefix) + message.size() + 1);
+    line += prefix;
+    line += message;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace obs
+}  // namespace achilles

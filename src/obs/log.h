@@ -1,0 +1,91 @@
+// Achilles reproduction -- observability layer.
+//
+// Leveled logger with a run-id/worker-id prefix. The old support
+// idiom -- raw `std::cerr <<` from whatever thread noticed something --
+// interleaves partial lines as soon as workers run concurrently; this
+// logger assembles each message into one buffer and hands it to stderr
+// in a single write, prefixed
+//
+//   [achilles <run-id> w<worker-id>] <level>: <message>
+//
+// so concurrent workers produce whole, attributable lines. The worker
+// id is a thread-local lane tag set by the exec layer (w- for the main
+// thread). The threshold comes from the ACHILLES_LOG environment
+// variable (debug|info|warn|error|off, default info), read once.
+
+#ifndef ACHILLES_OBS_LOG_H_
+#define ACHILLES_OBS_LOG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace achilles {
+namespace obs {
+
+enum class LogLevel : int {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kOff = 4,
+};
+
+/** The active threshold (ACHILLES_LOG override, default kInfo). */
+LogLevel LogThreshold();
+
+/** True when `level` messages currently print. */
+inline bool
+LogEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >= static_cast<int>(LogThreshold());
+}
+
+/** This process's run id (stable for the process lifetime). */
+uint64_t LogRunId();
+
+/** Tag the calling thread's log lines with a worker id (-1 = main). */
+void SetLogWorkerId(int worker_id);
+int LogWorkerId();
+
+/** RAII worker-id tag for the exec layer's worker loops. */
+class ScopedLogWorkerId
+{
+  public:
+    explicit ScopedLogWorkerId(int worker_id) : prev_(LogWorkerId())
+    {
+        SetLogWorkerId(worker_id);
+    }
+    ~ScopedLogWorkerId() { SetLogWorkerId(prev_); }
+
+  private:
+    int prev_;
+};
+
+/** Emit one whole prefixed line (a trailing newline is appended). */
+void LogWrite(LogLevel level, const std::string &message);
+
+inline void
+LogDebug(const std::string &message)
+{
+    LogWrite(LogLevel::kDebug, message);
+}
+inline void
+LogInfo(const std::string &message)
+{
+    LogWrite(LogLevel::kInfo, message);
+}
+inline void
+LogWarn(const std::string &message)
+{
+    LogWrite(LogLevel::kWarn, message);
+}
+inline void
+LogError(const std::string &message)
+{
+    LogWrite(LogLevel::kError, message);
+}
+
+}  // namespace obs
+}  // namespace achilles
+
+#endif  // ACHILLES_OBS_LOG_H_

@@ -1,0 +1,159 @@
+// Achilles reproduction -- observability layer.
+
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace achilles {
+namespace obs {
+
+TraceRecorder::TraceRecorder(size_t num_tracks, size_t ring_capacity)
+    : epoch_(Clock::now()),
+      capacity_(ring_capacity < 1 ? 1 : ring_capacity)
+{
+    if (num_tracks < 1)
+        num_tracks = 1;
+    tracks_.reserve(num_tracks);
+    for (size_t i = 0; i < num_tracks; ++i) {
+        auto track = std::make_unique<Track>();
+        track->ring.resize(capacity_);
+        tracks_.push_back(std::move(track));
+    }
+}
+
+void
+TraceRecorder::Record(size_t track, const TraceEvent &event)
+{
+    Track &t = *tracks_[track % tracks_.size()];
+    // Single writer per track: the plain load/store pair below is not a
+    // race (the only other access is the relaxed DroppedOn read, which
+    // tolerates any torn ordering of count vs slot).
+    const uint64_t head = t.head.load(std::memory_order_relaxed);
+    t.ring[head % capacity_] = event;
+    t.head.store(head + 1, std::memory_order_release);
+}
+
+int64_t
+TraceRecorder::DroppedOn(size_t track) const
+{
+    const Track &t = *tracks_[track % tracks_.size()];
+    const uint64_t head = t.head.load(std::memory_order_acquire);
+    return head > capacity_ ? static_cast<int64_t>(head - capacity_) : 0;
+}
+
+int64_t
+TraceRecorder::TotalDropped() const
+{
+    int64_t total = 0;
+    for (size_t i = 0; i < tracks_.size(); ++i)
+        total += DroppedOn(i);
+    return total;
+}
+
+int64_t
+TraceRecorder::TotalRetained() const
+{
+    int64_t total = 0;
+    for (const auto &t : tracks_) {
+        const uint64_t head = t->head.load(std::memory_order_acquire);
+        total += static_cast<int64_t>(
+            std::min<uint64_t>(head, capacity_));
+    }
+    return total;
+}
+
+namespace {
+
+/** Minimal JSON string escaping for event names (ASCII expected). */
+void
+WriteJsonString(std::ostream &os, const char *s)
+{
+    os << '"';
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\')
+            os << '\\' << c;
+        else if (static_cast<unsigned char>(c) < 0x20)
+            os << ' ';
+        else
+            os << c;
+    }
+    os << '"';
+}
+
+}  // namespace
+
+void
+TraceRecorder::WriteChromeTrace(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    const auto comma = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    for (size_t tid = 0; tid < tracks_.size(); ++tid) {
+        const Track &t = *tracks_[tid];
+        const uint64_t head = t.head.load(std::memory_order_acquire);
+        const uint64_t retained = std::min<uint64_t>(head, capacity_);
+        if (retained == 0)
+            continue;
+
+        comma();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << tid << ",\"args\":{\"name\":\""
+           << (tid == 0 ? std::string("main")
+                        : "worker-" + std::to_string(tid - 1))
+           << "\"}}";
+        if (head > retained) {
+            comma();
+            os << "{\"name\":\"obs.trace_dropped\",\"cat\":\"obs\","
+                  "\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":" << tid
+               << ",\"args\":{\"dropped\":" << (head - retained) << "}}";
+        }
+
+        for (uint64_t k = head - retained; k < head; ++k) {
+            const TraceEvent &e = t.ring[k % capacity_];
+            comma();
+            os << "{\"name\":";
+            WriteJsonString(os, e.name != nullptr ? e.name : "?");
+            os << ",\"cat\":";
+            WriteJsonString(os,
+                            e.category != nullptr ? e.category : "achilles");
+            if (e.duration_us < 0) {
+                os << ",\"ph\":\"i\",\"s\":\"t\"";
+            } else {
+                os << ",\"ph\":\"X\",\"dur\":" << e.duration_us;
+            }
+            os << ",\"ts\":" << e.start_us << ",\"pid\":1,\"tid\":" << tid;
+            const bool has_args =
+                e.num_args > 0 || e.str_arg_key != nullptr;
+            if (has_args) {
+                os << ",\"args\":{";
+                for (uint32_t a = 0; a < e.num_args; ++a) {
+                    if (a > 0)
+                        os << ",";
+                    WriteJsonString(os, e.arg_keys[a]);
+                    os << ":" << e.arg_values[a];
+                }
+                if (e.str_arg_key != nullptr) {
+                    if (e.num_args > 0)
+                        os << ",";
+                    WriteJsonString(os, e.str_arg_key);
+                    os << ":";
+                    WriteJsonString(os, e.str_arg_value != nullptr
+                                            ? e.str_arg_value
+                                            : "?");
+                }
+                os << "}";
+            }
+            os << "}";
+        }
+    }
+    os << "\n]}\n";
+}
+
+}  // namespace obs
+}  // namespace achilles

@@ -60,6 +60,13 @@ Solver::Solver(ExprContext *ctx, SolverConfig config)
     : ctx_(ctx), config_(config),
       stream_base_(static_cast<double>(config.stream_budget.base))
 {
+    if (config_.obs.metrics_on()) {
+        obs_queries_ = config_.obs.CounterFor("solver.queries");
+        obs_unknowns_ = config_.obs.CounterFor("solver.unknowns");
+        obs_memo_hits_ = config_.obs.CounterFor("solver.memo_hits");
+        obs_conflicts_ = config_.obs.DistributionFor("solver.conflicts");
+        obs_core_size_ = config_.obs.DistributionFor("solver.core_size");
+    }
 }
 
 Solver::~Solver() = default;
@@ -161,6 +168,45 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
 {
     stats_.Bump("solver.queries");
 
+    // Observability: one span per query on this solver's lane, finalized
+    // with verdict/conflicts/core/budget by `finish` below on every
+    // return path. All of it is behind null-check branches -- with
+    // config_.obs unset the query runs exactly as before.
+    obs::ScopedSpan span(config_.obs.tracer, config_.obs.lane,
+                         "solver.query", "solver");
+    const bool obs_on = config_.obs.enabled();
+    const int64_t obs_conflicts_before =
+        obs_on ? stats_.Get("solver.sat_conflicts") : 0;
+    const int64_t obs_budget_before =
+        obs_on ? stats_.Get("solver.stream_conflicts_spent") : 0;
+    const auto finish = [&](CheckResult result) -> CheckResult {
+        obs_queries_.Bump();
+        if (result.status == CheckStatus::kUnknown)
+            obs_unknowns_.Bump();
+        if (obs_on) {
+            const int64_t conflicts =
+                stats_.Get("solver.sat_conflicts") - obs_conflicts_before;
+            obs_conflicts_.Record(conflicts);
+            span.AddArg("conflicts", conflicts);
+            span.AddArg("assertions",
+                        static_cast<int64_t>(
+                            base.size() +
+                            (extras != nullptr ? extras->size() : 0)));
+            if (result.has_core) {
+                obs_core_size_.Record(
+                    static_cast<int64_t>(result.core.size()));
+                span.AddArg("core", static_cast<int64_t>(result.core.size()));
+            }
+            const int64_t budget_spent =
+                stats_.Get("solver.stream_conflicts_spent") -
+                obs_budget_before;
+            if (budget_spent > 0)
+                span.AddArg("budget_spent", budget_spent);
+            span.SetStrArg("verdict", CheckResultName(result));
+        }
+        return result;
+    };
+
     // Cores only accompany answers the model-less, unbudgeted
     // incremental path could have produced -- including the trivial
     // ones, so has_core remains a reliable proxy for "decided on the
@@ -184,13 +230,13 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
             result.has_core = true;
             result.core.push_back(false_index);
         }
-        return result;
+        return finish(result);
     }
     if (live.empty()) {
         stats_.Bump("solver.trivial_sat");
         if (model)
             *model = Model();
-        return CheckStatus::kSat;
+        return finish(CheckStatus::kSat);
     }
 
     // Cores travel through both caches in canonical (live-vector)
@@ -211,6 +257,7 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
             CacheEntry &entry = it->second;
             if (model == nullptr || entry.has_model) {
                 stats_.Bump("solver.cache_hits");
+                obs_memo_hits_.Bump();
                 if (model)
                     *model = entry.model;
                 CheckResult result(entry.status);
@@ -218,7 +265,7 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
                     result.has_core = true;
                     result.core = core_to_caller(entry.core);
                 }
-                return result;
+                return finish(result);
             }
             // kSat cached off the model-less incremental path but the
             // caller wants a witness: fall through to the fresh solve
@@ -252,7 +299,7 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
                 CheckResult result(CheckStatus::kUnsat);
                 result.has_core = true;
                 result.core = core_to_caller(interval_core);
-                return result;
+                return finish(result);
             }
         } else if (checker.DefinitelyUnsat(live)) {
             stats_.Bump("solver.interval_unsat");
@@ -265,7 +312,7 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
             if (model)
                 *model = Model();
             // Proof without attribution: no core on this arm.
-            return CheckStatus::kUnsat;
+            return finish(CheckStatus::kUnsat);
         }
     }
 
@@ -308,7 +355,7 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
     }
     if (model)
         *model = out_model;
-    return result;
+    return finish(result);
 }
 
 int64_t

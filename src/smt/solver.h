@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.h"
 #include "smt/eval.h"
 #include "smt/expr.h"
 #include "support/stats.h"
@@ -273,6 +274,17 @@ struct SolverConfig
      * bytes are unaffected by any cap.
      */
     int64_t lemma_pool_cap = 16384;
+    /**
+     * Observability sinks (src/obs/obs.h): when the registry is set the
+     * solver bumps live per-lane counters/distributions next to its
+     * merge-at-join stats bag; when the tracer is set every
+     * CheckSat/CheckSatAssuming records one span on the lane's track,
+     * annotated with conflicts spent, verdict, core size and stream
+     * budget drawn. Default (both null) leaves a single branch per
+     * query -- instrumentation is provably inert (witness sets are
+     * bitwise identical obs on/off; see tests/test_obs.cc).
+     */
+    obs::ObsHandle obs;
 
     /** True when queries run with no conflict budget of either kind --
      *  the precondition for the incremental backend and for every
@@ -430,6 +442,13 @@ class Solver
     double stream_base_ = -1.0;
     int64_t stream_carry_ = 0;
     StatsRegistry stats_;
+    /** Live obs instruments on this solver's lane shard (inert handles
+     *  when config_.obs carries no registry). */
+    obs::MetricsRegistry::Counter obs_queries_;
+    obs::MetricsRegistry::Counter obs_unknowns_;
+    obs::MetricsRegistry::Counter obs_memo_hits_;
+    obs::MetricsRegistry::Distribution obs_conflicts_;
+    obs::MetricsRegistry::Distribution obs_core_size_;
 };
 
 }  // namespace smt

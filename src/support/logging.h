@@ -4,14 +4,23 @@
 //   Panic()  -- internal invariant violated (a bug in this library); aborts.
 //   Fatal()  -- unrecoverable user/configuration error; exits cleanly.
 //   Warn()   -- something suspicious but survivable.
+//
+// Warn routes through the observability layer's leveled logger
+// (src/obs/log.h): one whole prefixed line per message with the run id
+// and the calling thread's worker lane, suppressible via ACHILLES_LOG.
+// Panic and Fatal terminate the process, so they print unconditionally
+// -- but through the same single-write discipline, because an invariant
+// can trip on a worker thread while its siblings are still logging.
 
 #ifndef ACHILLES_SUPPORT_LOGGING_H_
 #define ACHILLES_SUPPORT_LOGGING_H_
 
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <string>
+
+#include "obs/log.h"
 
 namespace achilles {
 
@@ -19,7 +28,14 @@ namespace achilles {
 [[noreturn]] inline void
 Panic(const std::string &msg, const char *file, int line)
 {
-    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::string out = "panic: ";
+    out += msg;
+    out += " (";
+    out += file;
+    out += ":";
+    out += std::to_string(line);
+    out += ")\n";
+    std::fwrite(out.data(), 1, out.size(), stderr);
     std::abort();
 }
 
@@ -27,15 +43,18 @@ Panic(const std::string &msg, const char *file, int line)
 [[noreturn]] inline void
 Fatal(const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << "\n";
+    std::string out = "fatal: ";
+    out += msg;
+    out += "\n";
+    std::fwrite(out.data(), 1, out.size(), stderr);
     std::exit(1);
 }
 
-/** Emit a non-fatal warning. */
+/** Emit a non-fatal warning (leveled, run-id/worker-id prefixed). */
 inline void
 Warn(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << "\n";
+    obs::LogWarn(msg);
 }
 
 namespace detail {

@@ -4,63 +4,26 @@
 // execution engine, Trojan search) register counters in a StatsRegistry so
 // experiment harnesses can dump internal metrics, the way S2E plugins
 // export execution statistics.
+//
+// The original map-bag class here was not thread-safe: once the parallel
+// exec/ subsystem existed, a stray cross-thread Bump was a data race.
+// The implementation now lives in the observability layer as
+// obs::LocalStats -- the same Bump/Set/Get/All/Merge/Dump surface behind
+// a mutex -- and this header aliases it so the ~30 existing call sites
+// keep compiling unchanged. The live, run-wide sharded layer (lock-free
+// per-worker counters, distributions, gauges) is obs::MetricsRegistry
+// (src/obs/metrics.h); these bags remain the merge-at-join accounting
+// currency.
 
 #ifndef ACHILLES_SUPPORT_STATS_H_
 #define ACHILLES_SUPPORT_STATS_H_
 
-#include <cstdint>
-#include <map>
-#include <ostream>
-#include <string>
+#include "obs/metrics.h"
 
 namespace achilles {
 
-/** A named bag of integer counters. */
-class StatsRegistry
-{
-  public:
-    /** Add delta to the named counter (creating it at zero). */
-    void Bump(const std::string &name, int64_t delta = 1)
-    {
-        counters_[name] += delta;
-    }
-
-    /** Set the named counter to an absolute value. */
-    void Set(const std::string &name, int64_t value)
-    {
-        counters_[name] = value;
-    }
-
-    /** Read a counter; zero if it was never touched. */
-    int64_t
-    Get(const std::string &name) const
-    {
-        auto it = counters_.find(name);
-        return it == counters_.end() ? 0 : it->second;
-    }
-
-    /** All counters, sorted by name. */
-    const std::map<std::string, int64_t> &All() const { return counters_; }
-
-    /** Merge another registry into this one (summing counters). */
-    void
-    Merge(const StatsRegistry &other)
-    {
-        for (const auto &[name, value] : other.counters_)
-            counters_[name] += value;
-    }
-
-    /** Pretty-print all counters, one per line. */
-    void
-    Dump(std::ostream &os, const std::string &prefix = "") const
-    {
-        for (const auto &[name, value] : counters_)
-            os << prefix << name << " = " << value << "\n";
-    }
-
-  private:
-    std::map<std::string, int64_t> counters_;
-};
+/** A named bag of integer counters (thread-safe). */
+using StatsRegistry = obs::LocalStats;
 
 }  // namespace achilles
 

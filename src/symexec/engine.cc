@@ -28,9 +28,37 @@ Engine::Engine(smt::ExprContext *ctx, smt::Solver *solver,
     : ctx_(ctx), solver_(solver), program_(program), mode_(mode),
       config_(config), rng_(config.random_seed)
 {
+    if (config_.obs.metrics_on()) {
+        obs_steps_ = config_.obs.CounterFor("engine.steps");
+        obs_forks_ = config_.obs.CounterFor("engine.states");
+        obs_finished_ = config_.obs.CounterFor("engine.finished");
+        // The serial frontier gauge belongs to the home engine; parallel
+        // worker engines (lane >= 1) leave the name to the scheduler's
+        // queued-state gauge registered by exec::ParallelEngine.
+        if (config_.obs.lane == 0) {
+            std::atomic<int64_t> *frontier = &frontier_;
+            config_.obs.registry->RegisterGauge(
+                "engine.frontier", [frontier] {
+                    return frontier->load(std::memory_order_relaxed);
+                });
+        }
+    }
     ACHILLES_CHECK(!program_->functions.empty(), "empty program");
     const int main_idx = program_->FindFunction("main");
     entry_func_ = main_idx >= 0 ? static_cast<uint32_t>(main_idx) : 0;
+}
+
+Engine::~Engine()
+{
+    // Freeze the serial frontier gauge: the lambda registered in the
+    // constructor captures this engine's member, and a heartbeat
+    // sampler may keep reading the name after this storage dies (or is
+    // reused by the next phase's engine).
+    if (config_.obs.metrics_on() && config_.obs.lane == 0) {
+        const int64_t value = frontier_.load(std::memory_order_relaxed);
+        config_.obs.registry->RegisterGauge("engine.frontier",
+                                            [value] { return value; });
+    }
 }
 
 void
@@ -173,6 +201,7 @@ Engine::FinalizePath(State &state, PathOutcome outcome)
         listener_->OnPathFinished(result);
     results_.push_back(std::move(result));
     stats_.Bump("engine.paths_finished");
+    obs_finished_.Bump();
 }
 
 void
@@ -446,6 +475,7 @@ uint64_t
 Engine::NextChildId(State &parent)
 {
     stats_.Bump("engine.states_created");
+    obs_forks_.Bump();
     if (config_.deterministic_state_ids)
         return DeriveChildId(parent.id(), parent.NextForkSeq());
     return next_state_id_++;
@@ -466,6 +496,11 @@ bool
 Engine::AdvanceState(State &state,
                      std::vector<std::unique_ptr<State>> *spawned)
 {
+    obs::ScopedSpan span(config_.obs.tracer, config_.obs.lane,
+                         "engine.step", "engine");
+    obs_steps_.Bump();
+    if (config_.obs.tracing_on())
+        span.AddArg("state", static_cast<int64_t>(state.id()));
     // Run the state until it forks, finishes, or exhausts its budget.
     while (!state.Finished()) {
         if (state.steps() >= config_.max_steps_per_state) {
@@ -529,7 +564,10 @@ Engine::Run()
         }
         if (!state->Finished())
             worklist_.push_back(std::move(state));
+        frontier_.store(static_cast<int64_t>(worklist_.size()),
+                        std::memory_order_relaxed);
     }
+    frontier_.store(0, std::memory_order_relaxed);
     return std::move(results_);
 }
 

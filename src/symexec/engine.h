@@ -10,11 +10,13 @@
 #ifndef ACHILLES_SYMEXEC_ENGINE_H_
 #define ACHILLES_SYMEXEC_ENGINE_H_
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "obs/obs.h"
 #include "smt/solver.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -66,6 +68,14 @@ struct EngineConfig
      * error signal, not an acceptance.
      */
     std::vector<uint8_t> error_reply_codes;
+    /**
+     * Observability sinks (src/obs/obs.h). With a registry the engine
+     * bumps live per-lane exploration counters (engine.steps) and, on
+     * lane 0, publishes an engine.frontier gauge over its worklist; with
+     * a tracer every AdvanceState records one span on the lane's track.
+     * Default-off: a single inert-handle branch per step.
+     */
+    obs::ObsHandle obs;
 };
 
 /** Summary of one finished execution path. */
@@ -121,6 +131,7 @@ class Engine
   public:
     Engine(smt::ExprContext *ctx, smt::Solver *solver,
            const Program *program, Mode mode, EngineConfig config = {});
+    ~Engine();
 
     /** Provide the symbolic message bytes served by ReceiveMessage. */
     void SetIncomingMessage(std::vector<smt::ExprRef> bytes);
@@ -205,6 +216,13 @@ class Engine
     std::function<bool()> finalize_gate_;
     Rng rng_;
     StatsRegistry stats_;
+    /** Live obs instruments (inert when config_.obs is unset). */
+    obs::MetricsRegistry::Counter obs_steps_;
+    obs::MetricsRegistry::Counter obs_forks_;
+    obs::MetricsRegistry::Counter obs_finished_;
+    /** Serial-run frontier size, read by the lane-0 gauge from the
+     *  heartbeat's sampler thread. */
+    std::atomic<int64_t> frontier_{0};
 };
 
 }  // namespace symexec

@@ -1,0 +1,205 @@
+// Achilles reproduction -- command-line driver.
+//
+// Run the full pipeline (client predicate extraction, preprocessing,
+// server exploration) on one of the built-in protocols with the
+// observability layer attached:
+//
+//   achilles_cli [--protocol fsp|pbft|toy] [--workers N] [--clients N]
+//                [--metrics-out <path>] [--trace-out <path>]
+//                [--progress[=secs]]
+//
+//   --protocol     which built-in protocol pair to analyze (default fsp)
+//   --workers      server-exploration worker threads (default 1)
+//   --clients      client programs to include, fsp only (default all)
+//   --metrics-out  write the end-of-run RunReport as one JSON object
+//   --trace-out    write the Chrome trace-event JSON (open the file in
+//                  chrome://tracing or https://ui.perfetto.dev)
+//   --progress     print a live progress heartbeat every second (or
+//                  every `secs` with --progress=secs)
+//
+// Log verbosity follows the ACHILLES_LOG environment variable
+// (debug|info|warn|error|off).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/achilles.h"
+#include "obs/heartbeat.h"
+#include "obs/log.h"
+#include "proto/fsp/fsp_protocol.h"
+#include "proto/pbft/pbft_protocol.h"
+#include "proto/toy/toy_protocol.h"
+
+using namespace achilles;
+
+namespace {
+
+void
+Usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--protocol fsp|pbft|toy] [--workers N] [--clients N]\n"
+        "          [--metrics-out <path>] [--trace-out <path>]\n"
+        "          [--progress[=secs]]\n",
+        argv0);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string protocol = "fsp";
+    size_t workers = 1;
+    size_t num_clients = static_cast<size_t>(-1);
+    std::string metrics_path;
+    std::string trace_path;
+    double progress_secs = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (std::strcmp(arg, "--protocol") == 0 && has_value) {
+            protocol = argv[++i];
+        } else if (std::strcmp(arg, "--workers") == 0 && has_value) {
+            workers = static_cast<size_t>(std::atoi(argv[++i]));
+        } else if (std::strcmp(arg, "--clients") == 0 && has_value) {
+            num_clients = static_cast<size_t>(std::atoi(argv[++i]));
+        } else if (std::strcmp(arg, "--metrics-out") == 0 && has_value) {
+            metrics_path = argv[++i];
+        } else if (std::strcmp(arg, "--trace-out") == 0 && has_value) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            progress_secs = 1.0;
+        } else if (std::strncmp(arg, "--progress=", 11) == 0) {
+            progress_secs = std::atof(arg + 11);
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            Usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "%s: unknown argument %s\n", argv[0],
+                         arg);
+            Usage(argv[0]);
+            return 2;
+        }
+    }
+    if (workers < 1)
+        workers = 1;
+
+    // Build the protocol pair. The program objects must outlive the
+    // pipeline, so each branch fills these holders.
+    std::vector<symexec::Program> clients;
+    symexec::Program server;
+    core::MessageLayout layout;
+    if (protocol == "fsp") {
+        clients = fsp::MakeAllClients();
+        if (num_clients < clients.size())
+            clients.resize(num_clients);
+        server = fsp::MakeServer();
+        layout = fsp::MakeLayout();
+    } else if (protocol == "pbft") {
+        clients.push_back(pbft::MakeClient());
+        server = pbft::MakeReplica();
+        layout = pbft::MakeLayout();
+    } else if (protocol == "toy") {
+        clients.push_back(toy::MakeClient());
+        server = toy::MakeServer();
+        layout = toy::MakeLayout();
+    } else {
+        std::fprintf(stderr, "%s: unknown protocol %s\n", argv[0],
+                     protocol.c_str());
+        Usage(argv[0]);
+        return 2;
+    }
+
+    // Observability sinks: metrics whenever any obs output is wanted
+    // (the heartbeat and the report both read the registry), tracing
+    // only when a trace file was asked for. Lane 0 is this thread;
+    // exploration workers own lanes 1..N.
+    const bool want_metrics =
+        !metrics_path.empty() || progress_secs > 0 || !trace_path.empty();
+    std::unique_ptr<obs::MetricsRegistry> registry;
+    std::unique_ptr<obs::TraceRecorder> tracer;
+    if (want_metrics)
+        registry = std::make_unique<obs::MetricsRegistry>(workers + 1);
+    if (!trace_path.empty())
+        tracer = std::make_unique<obs::TraceRecorder>(workers + 1);
+    obs::ObsHandle obs_handle;
+    obs_handle.registry = registry.get();
+    obs_handle.tracer = tracer.get();
+
+    smt::ExprContext ctx;
+    smt::SolverConfig solver_config;
+    solver_config.obs = obs_handle;
+    smt::Solver solver(&ctx, solver_config);
+
+    core::AchillesConfig config;
+    config.layout = layout;
+    for (const symexec::Program &c : clients)
+        config.clients.push_back(&c);
+    config.server = &server;
+    config.server_config.engine.num_workers = workers;
+    config.obs = obs_handle;
+
+    std::unique_ptr<obs::Heartbeat> heartbeat;
+    if (registry != nullptr && progress_secs > 0) {
+        heartbeat =
+            std::make_unique<obs::Heartbeat>(registry.get(), progress_secs);
+        heartbeat->Start();
+    }
+
+    const core::AchillesResult result =
+        core::RunAchilles(&ctx, &solver, config);
+
+    if (heartbeat != nullptr)
+        heartbeat->Stop();
+
+    std::printf("protocol %s: %zu client(s), %zu worker(s)\n",
+                protocol.c_str(), config.clients.size(), workers);
+    std::printf("time: %.3f s (client %.3f + preprocess %.3f + "
+                "server %.3f)\n",
+                result.timings.Total(), result.timings.client_extraction,
+                result.timings.preprocessing,
+                result.timings.server_analysis);
+    std::printf("Trojan witnesses: %zu\n", result.server.trojans.size());
+    for (const core::TrojanWitness &t : result.server.trojans) {
+        std::printf("  [%s] bytes:", t.accept_label.c_str());
+        for (uint8_t b : t.concrete)
+            std::printf(" %02x", b);
+        std::printf("\n");
+    }
+
+    int status = 0;
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        if (out.is_open()) {
+            result.report.WriteJson(out);
+            std::printf("metrics written to %s\n", metrics_path.c_str());
+        } else {
+            obs::LogError("cannot write " + metrics_path);
+            status = 1;
+        }
+    }
+    if (tracer != nullptr) {
+        std::ofstream out(trace_path);
+        if (out.is_open()) {
+            tracer->WriteChromeTrace(out);
+            std::printf("trace written to %s (%lld events, %lld "
+                        "dropped)\n",
+                        trace_path.c_str(),
+                        static_cast<long long>(tracer->TotalRetained()),
+                        static_cast<long long>(tracer->TotalDropped()));
+        } else {
+            obs::LogError("cannot write " + trace_path);
+            status = 1;
+        }
+    }
+    return status;
+}
