@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "bench/synth_protocol.h"
+#include "proto/synth/synth_family.h"
 #include "core/achilles.h"
 #include "core/path_predicate.h"
 #include "proto/fsp/fsp_protocol.h"

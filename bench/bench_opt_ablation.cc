@@ -17,7 +17,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "bench/synth_protocol.h"
+#include "proto/synth/synth_family.h"
 #include "core/achilles.h"
 #include "proto/fsp/fsp_protocol.h"
 #include "support/timer.h"

@@ -1,207 +1,13 @@
-// Achilles reproduction -- synthetic scaled protocol for the Section
-// 6.4 optimization study.
+// Achilles reproduction -- back-compat shim.
 //
-// The paper's FSP client predicate had thousands of path predicates; at
-// our path bound FSP yields 32. To exercise the optimizations at
-// paper-like scale this header generates a protocol with one client
-// path predicate per subcommand, shaped so the two implementations
-// differ the way the paper describes:
-//
-//   message: cmd(1) | arg(1) | tag(1)
-//   client, subcommand i: cmd = i, arg = λ ∈ [lo_i, lo_i+40],
-//                         tag = (13·λ + 7·i) mod 256   (CRC-like)
-//   server: binary dispatch on the cmd bits (a parser's nested
-//           switch), then arg ∈ [lo_i, lo_i+50] (wider: Trojan band),
-//           then two accepting handlers split on arg's parity; the tag
-//           is never validated (second Trojan source).
-//
-// Because the tag is an (invertible) arithmetic function of a
-// constrained variable, its negation keeps the functional form with
-// fresh copies (Section 3.2) -- each negated predicate carries a
-// multiplication. A-posteriori differencing must conjoin all N of them
-// on every accepting path; the incremental search drops half the live
-// predicates at each dispatch bit, so its Trojan queries stay small.
+// The synthetic protocols moved to src/proto/synth/synth_family.h
+// (same achilles::synth namespace, identical semantics) so they can be
+// sampled into the protocol registry. Include that header directly;
+// this forwarder exists for one PR and then goes away.
 
 #ifndef ACHILLES_BENCH_SYNTH_PROTOCOL_H_
 #define ACHILLES_BENCH_SYNTH_PROTOCOL_H_
 
-#include <functional>
-#include <string>
-
-#include "core/message.h"
-#include "symexec/program.h"
-
-namespace achilles {
-namespace synth {
-
-inline constexpr uint32_t kMessageLength = 3;
-
-inline core::MessageLayout
-MakeLayout()
-{
-    core::MessageLayout layout(kMessageLength);
-    layout.AddField("cmd", 0, 1).AddField("arg", 1, 1).AddField("tag", 2,
-                                                                 1);
-    return layout;
-}
-
-inline uint64_t ClientLo(uint32_t i) { return (i * 3) % 120; }
-inline uint64_t ClientHi(uint32_t i) { return ClientLo(i) + 40; }
-inline uint64_t ServerHi(uint32_t i) { return ClientLo(i) + 50; }
-
-inline symexec::Program
-MakeClient(uint32_t num_subcommands)
-{
-    using symexec::ProgramBuilder;
-    using symexec::Val;
-    ProgramBuilder b("synth-client");
-    b.Function("main", {}, 0, [&] {
-        Val which = b.ReadInput("which", 8);
-        Val arg = b.ReadInput("arg", 8);
-        b.Array("msg", 8, kMessageLength);
-        for (uint32_t i = 0; i < num_subcommands; ++i) {
-            b.If(which == i, [&] {
-                b.If(arg < ClientLo(i), [&] { b.Halt(); });
-                b.If(arg > ClientHi(i), [&] { b.Halt(); });
-                b.Store("msg", Val::Const(8, 0), Val::Const(8, i));
-                b.Store("msg", Val::Const(8, 1), arg);
-                // CRC-like integrity tag over the argument.
-                Val tag = arg * Val::Const(8, 13) +
-                          Val::Const(8, (7 * i) & 0xff);
-                b.Store("msg", Val::Const(8, 2), tag);
-                b.SendMessage("msg");
-            });
-        }
-    });
-    return b.Build();
-}
-
-inline symexec::Program
-MakeServer(uint32_t num_subcommands)
-{
-    using symexec::ProgramBuilder;
-    using symexec::Val;
-    ACHILLES_CHECK((num_subcommands & (num_subcommands - 1)) == 0,
-                   "num_subcommands must be a power of two");
-    uint32_t bits = 0;
-    while ((1u << bits) < num_subcommands)
-        ++bits;
-
-    ProgramBuilder b("synth-server");
-    b.Function("main", {}, 0, [&] {
-        b.ReceiveMessage("msg", kMessageLength);
-        Val cmd = b.Local(
-            "cmd", 8, ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, 0)));
-        Val arg = b.Local(
-            "arg", 8, ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, 1)));
-        // Unknown high bits -> discard.
-        b.If(cmd >= num_subcommands, [&] { b.MarkReject(); });
-
-        // Binary dispatch on the cmd bits, like a nested switch: each
-        // level halves the set of client predicates that still match.
-        std::function<void(uint32_t, uint32_t)> dispatch =
-            [&](uint32_t bit, uint32_t prefix) {
-                if (bit == 0) {
-                    const uint32_t i = prefix;
-                    b.If(arg < ClientLo(i), [&] { b.MarkReject(); });
-                    b.If(arg > ServerHi(i), [&] { b.MarkReject(); });
-                    // Two accepting handlers (parity split); the tag is
-                    // never validated.
-                    b.If((arg & 1) == Val::Const(8, 1),
-                         [&] { b.MarkAccept("odd"); },
-                         [&] { b.MarkAccept("even"); });
-                    return;
-                }
-                const uint32_t mask = 1u << (bit - 1);
-                b.If((cmd & mask) == Val::Const(8, 0),
-                     [&] { dispatch(bit - 1, prefix); },
-                     [&] { dispatch(bit - 1, prefix | mask); });
-            };
-        dispatch(bits, 0);
-    });
-    return b.Build();
-}
-
-// ---------------------------------------------------------------------
-// Guarded variant: a fully validated protocol (the server checks every
-// analyzed field, so no state has a Trojan) whose server re-derives the
-// same dead-end constraints in many sibling regions, selected by a pad
-// byte that belongs to no layout field. Each region's validation chain
-// ends in a state provably free of Trojans; the first such refutation's
-// core -- {cmd == i, arg < bound, ¬pathC_i} -- transfers verbatim to
-// every other region's chain (their extra pad constraints are not
-// implicated), which is exactly the workload the cross-state Trojan-core
-// index prunes: one worker's dead state subsumes the descendants of
-// every sibling region, including regions explored by other workers.
-// ---------------------------------------------------------------------
-
-inline constexpr uint64_t kGuardedArgBound = 10;
-
-inline core::MessageLayout
-MakeGuardedLayout()
-{
-    // Byte 2 ("pad") intentionally belongs to no field: the server's
-    // region dispatch on it forks states without entering the
-    // predicate-match logic.
-    core::MessageLayout out(kMessageLength);
-    out.AddField("cmd", 0, 1).AddField("arg", 1, 1);
-    return out;
-}
-
-inline symexec::Program
-MakeGuardedClient(uint32_t num_cmds)
-{
-    using symexec::ProgramBuilder;
-    using symexec::Val;
-    ProgramBuilder b("guarded-client");
-    b.Function("main", {}, 0, [&] {
-        Val which = b.ReadInput("which", 8);
-        Val arg = b.ReadInput("arg", 8);
-        b.Array("msg", 8, kMessageLength);
-        for (uint32_t i = 0; i < num_cmds; ++i) {
-            b.If(which == i, [&] {
-                b.If(arg >= kGuardedArgBound, [&] { b.Halt(); });
-                b.Store("msg", Val::Const(8, 0), Val::Const(8, i));
-                b.Store("msg", Val::Const(8, 1), arg);
-                b.Store("msg", Val::Const(8, 2), Val::Const(8, 0));
-                b.SendMessage("msg");
-            });
-        }
-    });
-    return b.Build();
-}
-
-inline symexec::Program
-MakeGuardedServer(uint32_t num_cmds, uint32_t regions)
-{
-    using symexec::ProgramBuilder;
-    using symexec::Val;
-    ProgramBuilder b("guarded-server");
-    b.Function("main", {}, 0, [&] {
-        b.ReceiveMessage("msg", kMessageLength);
-        Val cmd = b.Local(
-            "cmd", 8, ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, 0)));
-        Val arg = b.Local(
-            "arg", 8, ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, 1)));
-        Val pad = b.Local(
-            "pad", 8, ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, 2)));
-        for (uint32_t r = 0; r < regions; ++r) {
-            b.If(pad == r, [&] {
-                for (uint32_t i = 0; i < num_cmds; ++i) {
-                    b.If(cmd == i, [&] {
-                        b.If(arg < kGuardedArgBound, [&] {
-                            b.MarkAccept("h" + std::to_string(i));
-                        });
-                    });
-                }
-            });
-        }
-        b.MarkReject("bad");
-    });
-    return b.Build();
-}
-
-}  // namespace synth
-}  // namespace achilles
+#include "proto/synth/synth_family.h"
 
 #endif  // ACHILLES_BENCH_SYNTH_PROTOCOL_H_

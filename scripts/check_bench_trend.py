@@ -16,6 +16,15 @@ drop in any watched higher-is-better metric:
   * fig11.core_query_reduction_pct/<section>/workers=N
   * fig11.prune_index_query_reduction_pct/<section>/workers=N
   * fig11.overlay_hit_rate/<section>/workers=N
+  * corpus.trojan_yield[/<family>]             (bench_corpus)
+
+Lower-is-better metrics invert the comparison: the gate fails on a
+>threshold relative RISE instead of a drop. Currently that is
+corpus.queries_per_protocol[/<family>] -- solver effort per corpus
+protocol creeping up is the regression, not shrinking. Corpus metrics
+absent from the baseline (e.g. the artifact predates bench_corpus, or
+a new sampled family appeared) follow the one-sided rule and are
+skipped -- warn-only by construction.
 
 Sweep matching: a per-worker parallel metric is only compared when both
 record sets carry its `parallel.swept/workers=N` marker (bench_parallel
@@ -53,6 +62,13 @@ WATCHED_PATTERNS = [
     "fig11.core_query_reduction_pct/*",
     "fig11.prune_index_query_reduction_pct/*",
     "fig11.overlay_hit_rate/*",
+    "corpus.trojan_yield",
+    "corpus.trojan_yield/*",
+]
+# Watched metrics where a relative RISE beyond the threshold fails.
+LOWER_IS_BETTER_PATTERNS = [
+    "corpus.queries_per_protocol",
+    "corpus.queries_per_protocol/*",
 ]
 # Per-worker metrics gated on the sweep markers both record sets carry.
 SWEEP_METRIC_PREFIXES = (
@@ -189,7 +205,7 @@ def main():
     watched = sorted(
         metric for metric in set(current) | set(baseline)
         if any(fnmatch.fnmatchcase(metric, pat)
-               for pat in WATCHED_PATTERNS))
+               for pat in WATCHED_PATTERNS + LOWER_IS_BETTER_PATTERNS))
 
     regressions = []
     print(f"{'metric':44s} {'baseline':>10s} {'current':>10s} "
@@ -208,9 +224,14 @@ def main():
             print(f"{metric:44s} {base:10.3f} {cur:10.3f} "
                   f"{'(bad baseline, skipped)':>8s}")
             continue
+        lower_better = any(fnmatch.fnmatchcase(metric, pat)
+                           for pat in LOWER_IS_BETTER_PATTERNS)
         delta = (cur - base) / base
-        print(f"{metric:44s} {base:10.3f} {cur:10.3f} {delta:+7.1%}")
-        if delta < -args.threshold:
+        print(f"{metric:44s} {base:10.3f} {cur:10.3f} {delta:+7.1%}"
+              f"{'  (lower is better)' if lower_better else ''}")
+        regressed = (delta > args.threshold if lower_better
+                     else delta < -args.threshold)
+        if regressed:
             regressions.append((metric, base, cur, delta))
 
     if regressions:

@@ -144,6 +144,54 @@ class NestedRecordTest(unittest.TestCase):
         self.assertEqual(merged, {"ok": 1.0})
 
 
+class CorpusMetricsTest(unittest.TestCase):
+    def test_yield_drop_fails(self):
+        code, out = run_gate(
+            current=[{"metric": "corpus.trojan_yield", "value": 2.0}],
+            baseline=[{"metric": "corpus.trojan_yield", "value": 5.0}])
+        self.assertEqual(code, 1, out)
+        self.assertIn("corpus.trojan_yield", out)
+
+    def test_queries_rise_fails_lower_is_better(self):
+        # queries_per_protocol is lower-is-better: the inverted
+        # comparison must fire on a rise, not a drop.
+        code, out = run_gate(
+            current=[{"metric": "corpus.queries_per_protocol",
+                      "value": 150.0}],
+            baseline=[{"metric": "corpus.queries_per_protocol",
+                       "value": 100.0}])
+        self.assertEqual(code, 1, out)
+        self.assertIn("lower is better", out)
+
+    def test_queries_drop_passes_lower_is_better(self):
+        code, out = run_gate(
+            current=[{"metric": "corpus.queries_per_protocol",
+                      "value": 50.0}],
+            baseline=[{"metric": "corpus.queries_per_protocol",
+                       "value": 100.0}])
+        self.assertEqual(code, 0, out)
+
+    def test_per_family_metrics_are_watched(self):
+        code, out = run_gate(
+            current=[{"metric": "corpus.trojan_yield/synth/d2.f2.c75.v25",
+                      "value": 1.0}],
+            baseline=[{"metric": "corpus.trojan_yield/synth/d2.f2.c75.v25",
+                       "value": 4.0}])
+        self.assertEqual(code, 1, out)
+
+    def test_corpus_metric_absent_from_baseline_is_warn_only(self):
+        # A baseline artifact that predates bench_corpus (or a newly
+        # added family) must not fail the gate.
+        code, out = run_gate(
+            current=[
+                {"metric": "corpus.trojan_yield", "value": 2.0},
+                {"metric": "corpus.queries_per_protocol", "value": 90.0}],
+            baseline=[{"metric": "smt.incremental_speedup",
+                       "value": 10.0}])
+        self.assertEqual(code, 0, out)
+        self.assertIn("one-sided", out)
+
+
 class CeilingTest(unittest.TestCase):
     def test_overhead_within_ceiling_passes(self):
         code, out = run_gate(

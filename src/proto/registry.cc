@@ -1,0 +1,114 @@
+// Achilles reproduction -- protocol registry: built-in population.
+
+#include "proto/registry.h"
+
+#include "proto/fsp/fsp_concrete.h"
+#include "proto/fsp/fsp_protocol.h"
+#include "proto/paxos/paxos.h"
+#include "proto/pbft/pbft_concrete.h"
+#include "proto/pbft/pbft_protocol.h"
+#include "proto/synth/synth_family.h"
+#include "proto/toy/toy_protocol.h"
+
+namespace achilles {
+namespace proto {
+
+namespace {
+
+std::shared_ptr<const ProtocolFactory>
+Builtin(const std::string &name, const std::string &description,
+        std::function<core::MessageLayout()> layout,
+        std::function<symexec::Program()> server,
+        std::function<std::vector<symexec::Program>()> clients,
+        ConcreteTrojanOracle oracle = nullptr)
+{
+    ProtocolInfo info;
+    info.name = name;
+    info.family = "builtin";
+    info.description = description;
+    return std::make_shared<LambdaProtocolFactory>(
+        info, std::move(layout), std::move(server), std::move(clients),
+        std::move(oracle));
+}
+
+std::function<std::vector<symexec::Program>()>
+SingleClient(std::function<symexec::Program()> make)
+{
+    return [make = std::move(make)] {
+        std::vector<symexec::Program> out;
+        out.push_back(make());
+        return out;
+    };
+}
+
+std::shared_ptr<const ProtocolFactory>
+PaxosVariant(const std::string &name, const std::string &description,
+             paxos::LocalStateMode mode)
+{
+    return Builtin(
+        name, description, [] { return paxos::MakeLayout(); },
+        [mode] { return paxos::MakeAcceptor(mode); },
+        SingleClient([mode] { return paxos::MakeProposer(mode); }));
+}
+
+/** Every legacy substrate, each building through exactly the code path
+ *  a direct caller would use. */
+void
+RegisterBuiltins(ProtocolRegistry *registry)
+{
+    registry->Register(Builtin(
+        "fsp", "FSP 2.8.1b26 file-transfer protocol (paper Section 6.1)",
+        [] { return fsp::MakeLayout(); }, [] { return fsp::MakeServer(); },
+        [] { return fsp::MakeAllClients(); },
+        [](const std::vector<uint8_t> &msg) {
+            return fsp::IsTrojan(msg);
+        }));
+    registry->Register(Builtin(
+        "pbft", "PBFT replica request handling (MAC attack, Section 6)",
+        [] { return pbft::MakeLayout(); },
+        [] { return pbft::MakeReplica(); },
+        SingleClient([] { return pbft::MakeClient(); }),
+        [](const std::vector<uint8_t> &msg) {
+            return pbft::IsTrojan(msg);
+        }));
+    registry->Register(Builtin(
+        "toy", "Figure 2/3 read-write server (missing signed bound)",
+        [] { return toy::MakeLayout(); }, [] { return toy::MakeServer(); },
+        SingleClient([] { return toy::MakeClient(); })));
+    registry->Register(Builtin(
+        "toy-fixed", "repaired toy server (no Trojans expected)",
+        [] { return toy::MakeLayout(); },
+        [] { return toy::MakeFixedServer(); },
+        SingleClient([] { return toy::MakeClient(); })));
+    registry->Register(PaxosVariant(
+        "paxos", "Paxos phase-2 acceptor, concrete local state",
+        paxos::LocalStateMode::kConcrete));
+    registry->Register(PaxosVariant(
+        "paxos-symbolic",
+        "Paxos phase-2 acceptor, constructed-symbolic local state",
+        paxos::LocalStateMode::kConstructedSymbolic));
+    registry->Register(PaxosVariant(
+        "paxos-overapprox",
+        "Paxos phase-2 acceptor, over-approximated local state",
+        paxos::LocalStateMode::kOverApproximate));
+}
+
+}  // namespace
+
+ProtocolRegistry &
+ProtocolRegistry::Global()
+{
+    // Populated directly (not via per-TU static registrars, which a
+    // static link is free to drop): first use builds the built-ins and
+    // the default sampled corpus.
+    static ProtocolRegistry *registry = [] {
+        auto *r = new ProtocolRegistry();
+        RegisterBuiltins(r);
+        synth::RegisterCorpus(r, synth::DefaultCorpus());
+        return r;
+    }();
+    return *registry;
+}
+
+}  // namespace proto
+}  // namespace achilles

@@ -1,0 +1,252 @@
+// Achilles reproduction -- protocol registry.
+//
+// The declarative protocol frontier's unification layer: every protocol
+// substrate -- the four hand-built legacy ones (FSP, PBFT, Paxos, toy),
+// wire-format specs compiled by src/proto/spec/, and the seeded
+// synthetic families of src/proto/synth/ -- is published as a
+// ProtocolFactory in one name-keyed registry. Consumers (achilles_cli,
+// the benches, tests) resolve protocols by name and receive a
+// materialized ProtocolBundle; adding a protocol never touches a
+// consumer again.
+//
+// Factories are builders, not caches: every Make*() call constructs
+// fresh Program/MessageLayout objects through exactly the code path a
+// direct caller would use, so a registry-resolved pipeline run is
+// bitwise-identical (witness definitions and concrete bytes) to a
+// hand-wired one (tests/test_proto_registry.cc gates this per
+// substrate).
+
+#ifndef ACHILLES_PROTO_REGISTRY_H_
+#define ACHILLES_PROTO_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/message.h"
+#include "symexec/program.h"
+
+namespace achilles {
+namespace proto {
+
+/** Registry metadata for one protocol. */
+struct ProtocolInfo
+{
+    /** Registry key, e.g. "fsp", "kv_union", "synth/d2.f2.c75.v25/s3". */
+    std::string name;
+    /**
+     * Grouping key for corpus aggregation: "builtin" for the legacy
+     * substrates, "spec" for wire-format-compiled protocols, and
+     * "synth/<cell>" for sampled families (every seed of a cell shares
+     * the family string, so per-family yield metrics aggregate over
+     * seeds).
+     */
+    std::string family;
+    std::string description;
+};
+
+/**
+ * A materialized protocol: owns the layout and programs so they outlive
+ * the pipeline run (AchillesConfig stores raw pointers).
+ */
+struct ProtocolBundle
+{
+    ProtocolInfo info;
+    core::MessageLayout layout;
+    symexec::Program server;
+    std::vector<symexec::Program> clients;
+
+    /** Client pointer view in AchillesConfig's shape. */
+    std::vector<const symexec::Program *>
+    ClientPtrs() const
+    {
+        std::vector<const symexec::Program *> out;
+        out.reserve(clients.size());
+        for (const symexec::Program &c : clients)
+            out.push_back(&c);
+        return out;
+    }
+};
+
+/**
+ * Ground-truth classifier over concrete wire messages ("is this exact
+ * byte string a Trojan?"), backed by a protocol's concrete counterpart
+ * implementation where one exists (fsp_concrete / pbft_concrete). Null
+ * when the protocol has no concrete oracle.
+ */
+using ConcreteTrojanOracle =
+    std::function<bool(const std::vector<uint8_t> &)>;
+
+/**
+ * Builder interface for one protocol. Implementations must be
+ * stateless: repeated Make*() calls return structurally identical
+ * objects, and nothing is shared between calls (each pipeline run gets
+ * private Program copies).
+ */
+class ProtocolFactory
+{
+  public:
+    virtual ~ProtocolFactory() = default;
+
+    virtual const ProtocolInfo &info() const = 0;
+    virtual core::MessageLayout MakeLayout() const = 0;
+    virtual symexec::Program MakeServer() const = 0;
+    virtual std::vector<symexec::Program> MakeAllClients() const = 0;
+
+    /** Concrete-counterpart ground truth; default: none. */
+    virtual ConcreteTrojanOracle
+    MakeConcreteOracle() const
+    {
+        return nullptr;
+    }
+
+    /** Materialize everything into one owning bundle. */
+    ProtocolBundle
+    Make() const
+    {
+        ProtocolBundle bundle;
+        bundle.info = info();
+        bundle.layout = MakeLayout();
+        bundle.server = MakeServer();
+        bundle.clients = MakeAllClients();
+        return bundle;
+    }
+};
+
+/** Factory over std::function hooks (the common registration shape). */
+class LambdaProtocolFactory : public ProtocolFactory
+{
+  public:
+    LambdaProtocolFactory(
+        ProtocolInfo info, std::function<core::MessageLayout()> layout,
+        std::function<symexec::Program()> server,
+        std::function<std::vector<symexec::Program>()> clients,
+        ConcreteTrojanOracle oracle = nullptr)
+        : info_(std::move(info)), layout_(std::move(layout)),
+          server_(std::move(server)), clients_(std::move(clients)),
+          oracle_(std::move(oracle))
+    {
+        ACHILLES_CHECK(!info_.name.empty(), "protocol with empty name");
+        ACHILLES_CHECK(layout_ && server_ && clients_,
+                       "incomplete factory for ", info_.name);
+    }
+
+    const ProtocolInfo &info() const override { return info_; }
+    core::MessageLayout MakeLayout() const override { return layout_(); }
+    symexec::Program MakeServer() const override { return server_(); }
+    std::vector<symexec::Program>
+    MakeAllClients() const override
+    {
+        return clients_();
+    }
+    ConcreteTrojanOracle
+    MakeConcreteOracle() const override
+    {
+        return oracle_;
+    }
+
+  private:
+    ProtocolInfo info_;
+    std::function<core::MessageLayout()> layout_;
+    std::function<symexec::Program()> server_;
+    std::function<std::vector<symexec::Program>()> clients_;
+    ConcreteTrojanOracle oracle_;
+};
+
+/**
+ * Name-keyed protocol registry. Thread-safe; factories are immutable
+ * once registered. Global() carries every built-in substrate plus the
+ * default synthetic corpus; wire-format specs join at load time
+ * (spec::RegisterSpecFile / spec::RegisterSpecText).
+ */
+class ProtocolRegistry
+{
+  public:
+    ProtocolRegistry() = default;
+    ProtocolRegistry(const ProtocolRegistry &) = delete;
+    ProtocolRegistry &operator=(const ProtocolRegistry &) = delete;
+
+    /**
+     * The process-wide registry, populated on first use with the four
+     * legacy substrates (plus their fixed/mode variants) and the
+     * default synthetic corpus (synth::DefaultCorpus).
+     */
+    static ProtocolRegistry &Global();
+
+    /** Register a factory; the name must be free. */
+    void
+    Register(std::shared_ptr<const ProtocolFactory> factory)
+    {
+        ACHILLES_CHECK(factory != nullptr, "null factory");
+        std::lock_guard<std::mutex> lock(mu_);
+        const std::string &name = factory->info().name;
+        ACHILLES_CHECK(factories_.emplace(name, std::move(factory)).second,
+                       "duplicate protocol registration: ", name);
+    }
+
+    /** Register, replacing any same-name entry (spec file reloads). */
+    void
+    RegisterOrReplace(std::shared_ptr<const ProtocolFactory> factory)
+    {
+        ACHILLES_CHECK(factory != nullptr, "null factory");
+        std::lock_guard<std::mutex> lock(mu_);
+        factories_[factory->info().name] = std::move(factory);
+    }
+
+    /** Factory by name, or nullptr. The pointer lives as long as the
+     *  registry entry does (entries are never removed). */
+    std::shared_ptr<const ProtocolFactory>
+    Find(const std::string &name) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = factories_.find(name);
+        return it == factories_.end() ? nullptr : it->second;
+    }
+
+    bool Has(const std::string &name) const { return Find(name) != nullptr; }
+
+    /** All registered names, sorted. */
+    std::vector<std::string>
+    Names() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::vector<std::string> out;
+        out.reserve(factories_.size());
+        for (const auto &[name, factory] : factories_)
+            out.push_back(name);
+        return out;
+    }
+
+    /** All factories, name-sorted. */
+    std::vector<std::shared_ptr<const ProtocolFactory>>
+    All() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::vector<std::shared_ptr<const ProtocolFactory>> out;
+        out.reserve(factories_.size());
+        for (const auto &[name, factory] : factories_)
+            out.push_back(factory);
+        return out;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return factories_.size();
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_ptr<const ProtocolFactory>>
+        factories_;
+};
+
+}  // namespace proto
+}  // namespace achilles
+
+#endif  // ACHILLES_PROTO_REGISTRY_H_

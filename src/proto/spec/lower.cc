@@ -1,0 +1,353 @@
+// Achilles reproduction -- wire-format spec frontend: lowering.
+
+#include "proto/spec/lower.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace achilles {
+namespace spec {
+
+namespace {
+
+using symexec::ProgramBuilder;
+using symexec::Val;
+
+uint32_t
+FieldBits(const SpecField &field)
+{
+    return field.size * 8;
+}
+
+/** Width-adapt a value (zero-extend up, truncate down). */
+Val
+Fit(const Val &v, uint32_t bits)
+{
+    if (v.width() == bits)
+        return v;
+    if (v.width() < bits)
+        return v.ZExt(bits);
+    return v.Extract(0, bits);
+}
+
+/** The affine rule's right-hand side at the target width. */
+Val
+AffineValue(const FieldRule &rule, const Val &base, uint32_t bits)
+{
+    return Fit(base, bits) * Val::Const(bits, rule.mul) +
+           Val::Const(bits, rule.add);
+}
+
+/** Width-1 condition of a compare rule over the field's value. */
+Val
+CompareCond(const FieldRule &rule, const Val &fv)
+{
+    const Val c = Val::Const(fv.width(), rule.value);
+    switch (rule.op) {
+        case RelOp::kEq: return fv == c;
+        case RelOp::kNe: return fv != c;
+        case RelOp::kLt: return fv < c;
+        case RelOp::kLe: return fv <= c;
+        case RelOp::kGt: return fv > c;
+        case RelOp::kGe: return fv >= c;
+    }
+    return fv == c;
+}
+
+Val
+Idx(uint32_t offset)
+{
+    return Val::Const(32, offset);
+}
+
+/** Store a field value into "msg" little-endian, one byte at a time. */
+void
+StoreField(ProgramBuilder &b, const SpecField &field, const Val &value)
+{
+    for (uint32_t k = 0; k < field.size; ++k)
+        b.Store("msg", Idx(field.offset + k), value.Extract(k * 8, 8));
+}
+
+/**
+ * One client per variant. The client reads symbolic inputs for the
+ * free fields, halts (sends nothing) when a client rule is violated --
+ * so the rules become path constraints of every captured message --
+ * constructs affine-coupled fields from their bases, and sends.
+ */
+symexec::Program
+BuildClientForVariant(const ProtocolSpec &spec, const SpecVariant &variant)
+{
+    ProgramBuilder b(spec.name + "-client-" + variant.label);
+    b.Function("main", {}, 0, [&] {
+        b.Array("msg", 8, spec.length);
+
+        // Effective rules: protocol-wide first, then the variant's.
+        std::vector<FieldRule> rules = spec.client_rules;
+        rules.insert(rules.end(), variant.client_rules.begin(),
+                     variant.client_rules.end());
+        std::map<std::string, std::vector<const FieldRule *>> compares;
+        std::map<std::string, const FieldRule *> affine;
+        for (const FieldRule &r : rules) {
+            if (r.kind == FieldRule::Kind::kCompare)
+                compares[r.field].push_back(&r);
+            else
+                affine[r.field] = &r;
+        }
+
+        // Validation guard: halt without sending outside the rules.
+        auto guard = [&](const std::string &fname, const Val &fv) {
+            auto it = compares.find(fname);
+            if (it == compares.end())
+                return;
+            for (const FieldRule *r : it->second)
+                b.If(!CompareCond(*r, fv), [&] { b.Halt(); });
+        };
+
+        const bool has_len = spec.HasLengthPrefix();
+        std::map<std::string, Val> vals;
+
+        // Pass 1: tag, constants, and symbolic inputs. Length-prefixed
+        // payload bytes are handled by the conditional loop below.
+        if (spec.HasDispatch()) {
+            const SpecField *tag = spec.FindField(spec.dispatch_field);
+            vals[tag->name] = Val::Const(FieldBits(*tag), variant.tag);
+        }
+        for (const SpecField &f : spec.fields) {
+            if (vals.count(f.name) != 0)
+                continue;
+            if (f.is_const) {
+                vals[f.name] = Val::Const(FieldBits(f), f.const_value);
+                continue;
+            }
+            if (affine.count(f.name) != 0)
+                continue;  // pass 2: constructed, not read
+            if (has_len && f.is_payload_byte)
+                continue;
+            vals[f.name] = b.ReadInput(f.name, FieldBits(f));
+        }
+        // Pass 2: coupled fields (validation guarantees the base is a
+        // pass-1 field, so one pass resolves every coupling).
+        for (const SpecField &f : spec.fields) {
+            auto it = affine.find(f.name);
+            if (it == affine.end())
+                continue;
+            vals[f.name] =
+                AffineValue(*it->second, vals.at(it->second->base),
+                            FieldBits(f));
+        }
+
+        // Validation: every scalar field's compare rules.
+        for (const SpecField &f : spec.fields) {
+            auto it = vals.find(f.name);
+            if (it != vals.end() && !f.is_const)
+                guard(f.name, it->second);
+        }
+        // The implicit guarantee of a length prefix: the declared
+        // length never exceeds the payload the client actually has.
+        Val lenv;
+        if (has_len) {
+            lenv = vals.at(spec.len_field);
+            b.If(lenv > Val::Const(lenv.width(), spec.payload_bytes),
+                 [&] { b.Halt(); });
+        }
+
+        // Assemble and send.
+        for (const SpecField &f : spec.fields) {
+            if (has_len && f.is_payload_byte)
+                continue;
+            StoreField(b, f, vals.at(f.name));
+        }
+        if (has_len) {
+            // Only the first `len` payload bytes carry data; the rest
+            // stay constant 0 (kDeclArray zero-initialization). `lenv`
+            // is concrete per forked path, so the fan-out is linear in
+            // the payload size, FSP-scan style.
+            for (uint32_t i = 0; i < spec.payload_bytes; ++i) {
+                b.If(Val::Const(lenv.width(), i) < lenv, [&] {
+                    const std::string name =
+                        spec.payload_name + std::to_string(i);
+                    Val c = b.ReadInput(name, 8);
+                    guard(name, c);
+                    b.Store("msg", Idx(spec.payload_offset + i), c);
+                });
+            }
+        }
+        b.SendMessage("msg", variant.label);
+    });
+    return b.Build();
+}
+
+}  // namespace
+
+core::MessageLayout
+BuildLayout(const ProtocolSpec &spec)
+{
+    core::MessageLayout layout(spec.length);
+    for (const SpecField &f : spec.fields)
+        layout.AddField(f.name, f.offset, f.size);
+    for (const SpecField &f : spec.fields)
+        if (f.masked)
+            layout.Mask(f.name);
+    return layout;
+}
+
+symexec::Program
+BuildServer(const ProtocolSpec &spec)
+{
+    ProgramBuilder b(spec.name + "-server");
+    b.Function("main", {}, 0, [&] {
+        b.ReceiveMessage("msg", spec.length);
+        auto byte = [&](uint32_t off) {
+            return ProgramBuilder::ArrayAt("msg", 8, Idx(off));
+        };
+        // Little-endian field reassembly (the FSP `Concat` idiom).
+        auto field_val = [&](const SpecField &f) {
+            Val v = byte(f.offset);
+            for (uint32_t i = 1; i < f.size; ++i)
+                v = byte(f.offset + i).Concat(v);
+            return v;
+        };
+        auto named_val = [&](const std::string &name) {
+            const SpecField *f = spec.FindField(name);
+            ACHILLES_CHECK(f != nullptr, "unvalidated spec field ", name);
+            return field_val(*f);
+        };
+        auto check = [&](const FieldRule &r) {
+            Val fv = named_val(r.field);
+            Val cond = r.kind == FieldRule::Kind::kCompare
+                           ? CompareCond(r, fv)
+                           : fv == AffineValue(r, named_val(r.base),
+                                               fv.width());
+            b.If(!cond, [&] { b.MarkReject("check-" + r.field); });
+        };
+
+        // Wire constants are always verified (the legacy substrates'
+        // header-constant checks); spec'd server rules come next. Note
+        // there is no implicit length-vs-payload check -- a spec whose
+        // server rules omit the bound ships that Trojan, intentionally.
+        for (const SpecField &f : spec.fields) {
+            if (!f.is_const)
+                continue;
+            b.If(field_val(f) !=
+                     Val::Const(FieldBits(f), f.const_value),
+                 [&] { b.MarkReject("bad-" + f.name); });
+        }
+        for (const FieldRule &r : spec.server_rules)
+            check(r);
+
+        auto accept_variant = [&](const SpecVariant &v) {
+            for (const FieldRule &r : v.server_rules)
+                check(r);
+            if (!v.replies.empty()) {
+                b.Array("reply", 8, spec.length);
+                for (const ReplyAction &a : v.replies) {
+                    const SpecField *f = spec.FindField(a.field);
+                    for (uint32_t k = 0; k < f->size; ++k)
+                        b.Store("reply", Idx(f->offset + k),
+                                Val::Const(8, (a.value >> (k * 8)) &
+                                                  0xff));
+                }
+                b.SendMessage("reply", v.label);
+            }
+            b.MarkAccept(v.label);
+        };
+
+        if (spec.HasDispatch()) {
+            Val tag = named_val(spec.dispatch_field);
+            std::vector<std::pair<uint64_t, std::function<void()>>> cases;
+            cases.reserve(spec.variants.size());
+            for (size_t i = 0; i < spec.variants.size(); ++i) {
+                cases.emplace_back(spec.variants[i].tag, [&, i] {
+                    accept_variant(spec.variants[i]);
+                });
+            }
+            b.Switch(tag, cases, [&] { b.MarkReject("bad-tag"); });
+        } else {
+            accept_variant(spec.variants.front());
+        }
+    });
+    return b.Build();
+}
+
+std::vector<symexec::Program>
+BuildClients(const ProtocolSpec &spec)
+{
+    std::vector<symexec::Program> clients;
+    clients.reserve(spec.variants.size());
+    for (const SpecVariant &v : spec.variants)
+        clients.push_back(BuildClientForVariant(spec, v));
+    return clients;
+}
+
+proto::ProtocolBundle
+BuildProtocol(const ProtocolSpec &spec)
+{
+    proto::ProtocolBundle bundle;
+    bundle.info.name = spec.name;
+    bundle.info.family = "spec";
+    bundle.info.description = std::string(WireKindName(spec.wire)) +
+                              " wire-format spec (" + spec.source + ")";
+    bundle.layout = BuildLayout(spec);
+    bundle.server = BuildServer(spec);
+    bundle.clients = BuildClients(spec);
+    return bundle;
+}
+
+std::shared_ptr<const proto::ProtocolFactory>
+MakeSpecFactory(ProtocolSpec spec)
+{
+    auto shared = std::make_shared<const ProtocolSpec>(std::move(spec));
+    proto::ProtocolInfo info;
+    info.name = shared->name;
+    info.family = "spec";
+    info.description = std::string(WireKindName(shared->wire)) +
+                       " wire-format spec (" + shared->source + ")";
+    return std::make_shared<proto::LambdaProtocolFactory>(
+        info, [shared] { return BuildLayout(*shared); },
+        [shared] { return BuildServer(*shared); },
+        [shared] { return BuildClients(*shared); });
+}
+
+bool
+RegisterSpecText(const std::string &text, const std::string &source,
+                 proto::ProtocolRegistry *registry, std::string *name,
+                 std::string *error)
+{
+    ProtocolSpec parsed;
+    SpecError err;
+    if (!ParseSpec(text, source, &parsed, &err)) {
+        if (error != nullptr)
+            *error = err.Format(source);
+        return false;
+    }
+    auto factory = MakeSpecFactory(std::move(parsed));
+    // Trial-build so lowering problems surface at load time, not in
+    // the middle of a pipeline run.
+    factory->Make();
+    if (name != nullptr)
+        *name = factory->info().name;
+    if (registry == nullptr)
+        registry = &proto::ProtocolRegistry::Global();
+    registry->RegisterOrReplace(std::move(factory));
+    return true;
+}
+
+bool
+RegisterSpecFile(const std::string &path,
+                 proto::ProtocolRegistry *registry, std::string *name,
+                 std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error != nullptr)
+            *error = path + ": cannot read spec file";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return RegisterSpecText(text.str(), path, registry, name, error);
+}
+
+}  // namespace spec
+}  // namespace achilles

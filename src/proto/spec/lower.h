@@ -1,0 +1,73 @@
+// Achilles reproduction -- wire-format spec frontend: lowering.
+//
+// Compiles a parsed ProtocolSpec (proto/spec/spec.h) through
+// symexec::ProgramBuilder into the client/server Programs and the
+// MessageLayout the pipeline consumes, and registers the result as a
+// ProtocolFactory.
+//
+// Lowering contract:
+//   * one client Program per variant -- the client reads symbolic
+//     inputs for the variant's free fields, halts (sends nothing)
+//     outside its client rules, constructs coupled fields from their
+//     affine definition, stores the tag / length prefix / constant
+//     fields, and sends;
+//   * one server Program -- receive, extract every field
+//     (little-endian), check the protocol-wide server rules, dispatch
+//     on the tag (tlv/union), check the variant's server rules,
+//     perform the reply actions, and accept with the variant's label;
+//     unknown tags and failed checks reject;
+//   * bytes covered by no field stay constant 0 on the client and are
+//     never read by the server (pad bytes);
+//   * a length-prefixed payload is zero-filled past the length on the
+//     client; the server only constrains it through explicit rules --
+//     a spec whose server omits the length bound reproduces FSP's
+//     mismatched-length bug by construction.
+
+#ifndef ACHILLES_PROTO_SPEC_LOWER_H_
+#define ACHILLES_PROTO_SPEC_LOWER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/registry.h"
+#include "proto/spec/spec.h"
+
+namespace achilles {
+namespace spec {
+
+/** The analysis layout: every field at its offset, masks applied. */
+core::MessageLayout BuildLayout(const ProtocolSpec &spec);
+
+/** The server Program ("<name>-server"). */
+symexec::Program BuildServer(const ProtocolSpec &spec);
+
+/** One client Program per variant ("<name>-client-<label>"). */
+std::vector<symexec::Program> BuildClients(const ProtocolSpec &spec);
+
+/** Materialize the whole protocol (layout + server + clients). */
+proto::ProtocolBundle BuildProtocol(const ProtocolSpec &spec);
+
+/** Wrap a validated spec as a registry factory (family "spec"). */
+std::shared_ptr<const proto::ProtocolFactory>
+MakeSpecFactory(ProtocolSpec spec);
+
+/**
+ * Parse spec text and register it (replacing a same-name entry, so
+ * spec edits reload). On success *name holds the registered protocol
+ * name; on failure *error holds the line-anchored message
+ * ("<source>:<line>: ...") and nothing is registered.
+ */
+bool RegisterSpecText(const std::string &text, const std::string &source,
+                      proto::ProtocolRegistry *registry,
+                      std::string *name, std::string *error);
+
+/** RegisterSpecText over a file's contents. */
+bool RegisterSpecFile(const std::string &path,
+                      proto::ProtocolRegistry *registry,
+                      std::string *name, std::string *error);
+
+}  // namespace spec
+}  // namespace achilles
+
+#endif  // ACHILLES_PROTO_SPEC_LOWER_H_

@@ -1,0 +1,594 @@
+// Achilles reproduction -- wire-format spec frontend: parser.
+
+#include "proto/spec/spec.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace achilles {
+namespace spec {
+
+namespace {
+
+/** Whitespace-token split with '#' comment stripping. */
+std::vector<std::string>
+Tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : line) {
+        if (c == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!current.empty()) {
+                tokens.push_back(current);
+                current.clear();
+            }
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        tokens.push_back(current);
+    return tokens;
+}
+
+bool
+IsIdentifier(const std::string &s)
+{
+    if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0])))
+        return false;
+    for (char c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '-')
+            return false;
+    }
+    return true;
+}
+
+bool
+ParseNumber(const std::string &s, uint64_t *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return false;
+    *out = static_cast<uint64_t>(v);
+    return true;
+}
+
+bool
+ParseRelOp(const std::string &s, RelOp *out)
+{
+    if (s == "==") *out = RelOp::kEq;
+    else if (s == "!=") *out = RelOp::kNe;
+    else if (s == "<") *out = RelOp::kLt;
+    else if (s == "<=") *out = RelOp::kLe;
+    else if (s == ">") *out = RelOp::kGt;
+    else if (s == ">=") *out = RelOp::kGe;
+    else return false;
+    return true;
+}
+
+/** Parser context: accumulates the spec and the first error. */
+struct Parser
+{
+    ProtocolSpec spec;
+    SpecError error;
+    bool failed = false;
+
+    bool
+    Fail(int line, const std::string &message)
+    {
+        if (!failed) {
+            failed = true;
+            error.line = line;
+            error.message = message;
+        }
+        return false;
+    }
+};
+
+/**
+ * Parse one predicate from `tokens[first..]`. Emits one FieldRule for
+ * bound/affine forms, two for the `in lo .. hi` sugar.
+ */
+bool
+ParsePredicate(Parser *p, const std::vector<std::string> &tokens,
+               size_t first, int line, std::vector<FieldRule> *out)
+{
+    if (tokens.size() < first + 3)
+        return p->Fail(line, "predicate needs `<field> <op> <value>`");
+    const std::string &field = tokens[first];
+    const std::string &op_token = tokens[first + 1];
+
+    if (op_token == "in") {
+        // `field in lo .. hi` (the ".." may touch the numbers).
+        std::string joined;
+        for (size_t i = first + 2; i < tokens.size(); ++i)
+            joined += tokens[i];
+        const size_t dots = joined.find("..");
+        if (dots == std::string::npos)
+            return p->Fail(line, "range predicate needs `lo .. hi`");
+        uint64_t lo = 0, hi = 0;
+        if (!ParseNumber(joined.substr(0, dots), &lo) ||
+            !ParseNumber(joined.substr(dots + 2), &hi))
+            return p->Fail(line, "bad range bounds in `" + joined + "`");
+        if (lo > hi)
+            return p->Fail(line, "empty range: lo > hi");
+        FieldRule ge;
+        ge.field = field;
+        ge.op = RelOp::kGe;
+        ge.value = lo;
+        ge.line = line;
+        FieldRule le;
+        le.field = field;
+        le.op = RelOp::kLe;
+        le.value = hi;
+        le.line = line;
+        out->push_back(ge);
+        out->push_back(le);
+        return true;
+    }
+
+    RelOp op;
+    if (!ParseRelOp(op_token, &op))
+        return p->Fail(line, "unknown operator `" + op_token + "`");
+
+    uint64_t value = 0;
+    if (ParseNumber(tokens[first + 2], &value)) {
+        if (tokens.size() != first + 3)
+            return p->Fail(line, "trailing tokens after predicate");
+        FieldRule rule;
+        rule.field = field;
+        rule.op = op;
+        rule.value = value;
+        rule.line = line;
+        out->push_back(rule);
+        return true;
+    }
+
+    // Affine coupling: `field == base * mul + add`.
+    if (op != RelOp::kEq)
+        return p->Fail(line,
+                       "field-coupled predicate must use `==` "
+                       "(`field == base * k + c`)");
+    if (tokens.size() != first + 7 || tokens[first + 3] != "*" ||
+        tokens[first + 5] != "+")
+        return p->Fail(line,
+                       "coupled predicate must be `field == base * k + c`");
+    FieldRule rule;
+    rule.kind = FieldRule::Kind::kAffine;
+    rule.field = field;
+    rule.base = tokens[first + 2];
+    rule.line = line;
+    if (!ParseNumber(tokens[first + 4], &rule.mul) ||
+        !ParseNumber(tokens[first + 6], &rule.add))
+        return p->Fail(line, "bad affine coefficients");
+    out->push_back(rule);
+    return true;
+}
+
+uint64_t
+FieldMask(const SpecField &field)
+{
+    return field.size >= 8 ? ~0ull : ((1ull << (field.size * 8)) - 1);
+}
+
+/** Post-parse consistency validation (all errors line-anchored). */
+bool
+Validate(Parser *p)
+{
+    ProtocolSpec &s = p->spec;
+    if (s.name.empty())
+        return p->Fail(0, "missing `protocol <name>`");
+    if (s.length == 0)
+        return p->Fail(0, "missing `length <bytes>`");
+    if (s.fields.empty())
+        return p->Fail(0, "spec declares no fields");
+
+    // Fields: unique names, in range, non-overlapping.
+    std::set<std::string> names;
+    std::vector<int> covered(s.length, 0);
+    for (const SpecField &f : s.fields) {
+        if (!names.insert(f.name).second)
+            return p->Fail(f.line, "duplicate field `" + f.name + "`");
+        if (f.size < 1 || f.size > 8)
+            return p->Fail(f.line, "field `" + f.name +
+                                       "` size must be 1..8 bytes");
+        if (f.offset + f.size > s.length)
+            return p->Fail(f.line, "field `" + f.name +
+                                       "` exceeds message length");
+        for (uint32_t i = f.offset; i < f.offset + f.size; ++i) {
+            if (covered[i]++)
+                return p->Fail(f.line, "field `" + f.name +
+                                           "` overlaps an earlier field");
+        }
+        if (f.is_const && f.const_value > FieldMask(f))
+            return p->Fail(f.line, "constant does not fit field `" +
+                                       f.name + "`");
+    }
+
+    // Wire-discipline requirements.
+    if (s.HasDispatch()) {
+        if (s.dispatch_field.empty()) {
+            // Default: the first non-payload, non-const field.
+            for (const SpecField &f : s.fields) {
+                if (!f.is_payload_byte && !f.is_const) {
+                    s.dispatch_field = f.name;
+                    break;
+                }
+            }
+            if (s.dispatch_field.empty())
+                return p->Fail(0, "no field usable for dispatch");
+        }
+        const SpecField *tag = s.FindField(s.dispatch_field);
+        if (tag == nullptr)
+            return p->Fail(0, "dispatch field `" + s.dispatch_field +
+                                  "` is not declared");
+        if (tag->is_const)
+            return p->Fail(tag->line, "dispatch field `" + tag->name +
+                                          "` cannot be const");
+        if (s.variants.empty())
+            return p->Fail(0, std::string(WireKindName(s.wire)) +
+                                  " spec needs at least one variant");
+        std::set<uint64_t> tags;
+        std::set<std::string> labels;
+        for (const SpecVariant &v : s.variants) {
+            if (!tags.insert(v.tag).second)
+                return p->Fail(v.line, "duplicate variant tag");
+            if (v.tag > FieldMask(*tag))
+                return p->Fail(v.line,
+                               "variant tag does not fit the dispatch "
+                               "field");
+            if (!labels.insert(v.label).second)
+                return p->Fail(v.line, "duplicate variant label `" +
+                                           v.label + "`");
+        }
+    } else {
+        if (!s.dispatch_field.empty())
+            return p->Fail(0, "`dispatch` requires wire tlv or union");
+        if (s.variants.size() != 1)
+            return p->Fail(0,
+                           "lenprefix spec needs exactly one variant");
+    }
+
+    const bool needs_len = s.wire != WireKind::kTaggedUnion;
+    if (needs_len) {
+        if (s.len_field.empty())
+            return p->Fail(0, std::string(WireKindName(s.wire)) +
+                                  " spec needs a `lenfield`");
+        const SpecField *len = s.FindField(s.len_field);
+        if (len == nullptr)
+            return p->Fail(0, "lenfield `" + s.len_field +
+                                  "` is not declared");
+        if (len->is_const || len->is_payload_byte)
+            return p->Fail(len->line,
+                           "lenfield must be a plain scalar field");
+        if (s.payload_name.empty())
+            return p->Fail(0, std::string(WireKindName(s.wire)) +
+                                  " spec needs a `payload`");
+        if (s.payload_bytes > FieldMask(*len))
+            return p->Fail(len->line,
+                           "payload longer than the lenfield can count");
+    } else if (!s.len_field.empty()) {
+        return p->Fail(0, "`lenfield` requires wire tlv or lenprefix");
+    }
+
+    // Rules: known fields, sane targets. Client-side affine couplings
+    // must be single-level (a coupling base cannot itself be coupled),
+    // which keeps the client lowering a single resolution pass.
+    auto check_rules = [&](const std::vector<FieldRule> &rules,
+                           bool client_side) {
+        std::set<std::string> affine_targets;
+        for (const FieldRule &r : rules)
+            if (client_side && r.kind == FieldRule::Kind::kAffine)
+                affine_targets.insert(r.field);
+        for (const FieldRule &r : rules) {
+            if (client_side && r.kind == FieldRule::Kind::kAffine &&
+                affine_targets.count(r.base) != 0)
+                return p->Fail(r.line, "coupling base `" + r.base +
+                                           "` is itself coupled");
+        }
+        affine_targets.clear();
+        for (const FieldRule &r : rules) {
+            const SpecField *f = s.FindField(r.field);
+            if (f == nullptr)
+                return p->Fail(r.line, "rule references unknown field `" +
+                                           r.field + "`");
+            if (r.kind == FieldRule::Kind::kCompare) {
+                if (r.value > FieldMask(*f))
+                    return p->Fail(r.line, "value does not fit field `" +
+                                               r.field + "`");
+                if (client_side && f->is_const)
+                    return p->Fail(r.line,
+                                   "client rule on const field `" +
+                                       r.field + "` is vacuous");
+                continue;
+            }
+            const SpecField *base = s.FindField(r.base);
+            if (base == nullptr)
+                return p->Fail(r.line, "rule references unknown field `" +
+                                           r.base + "`");
+            if (f->is_const)
+                return p->Fail(r.line, "coupled field `" + r.field +
+                                           "` cannot be const");
+            if (r.field == r.base)
+                return p->Fail(r.line, "field coupled to itself");
+            if (client_side) {
+                if (r.field == s.dispatch_field || r.field == s.len_field)
+                    return p->Fail(r.line,
+                                   "cannot couple the dispatch or "
+                                   "length field");
+                // Length-prefixed payload bytes are stored conditionally
+                // (only the first `len` exist), so neither side of a
+                // client coupling may be one.
+                if (s.HasLengthPrefix() &&
+                    (f->is_payload_byte || base->is_payload_byte))
+                    return p->Fail(r.line,
+                                   "cannot couple length-prefixed "
+                                   "payload bytes");
+                if (!affine_targets.insert(r.field).second)
+                    return p->Fail(r.line, "field `" + r.field +
+                                               "` coupled twice");
+            }
+        }
+        return true;
+    };
+
+    std::vector<FieldRule> all_client = s.client_rules;
+    std::vector<FieldRule> all_server = s.server_rules;
+    for (const SpecVariant &v : s.variants) {
+        all_client.insert(all_client.end(), v.client_rules.begin(),
+                          v.client_rules.end());
+        all_server.insert(all_server.end(), v.server_rules.begin(),
+                          v.server_rules.end());
+        for (const ReplyAction &r : v.replies) {
+            const SpecField *f = s.FindField(r.field);
+            if (f == nullptr)
+                return p->Fail(r.line, "reply references unknown field `" +
+                                           r.field + "`");
+            if (r.value > FieldMask(*f))
+                return p->Fail(r.line, "reply value does not fit field `" +
+                                           r.field + "`");
+        }
+    }
+    if (!check_rules(all_client, /*client_side=*/true))
+        return false;
+    if (!check_rules(all_server, /*client_side=*/false))
+        return false;
+    return true;
+}
+
+}  // namespace
+
+const char *
+WireKindName(WireKind kind)
+{
+    switch (kind) {
+        case WireKind::kTlv: return "tlv";
+        case WireKind::kLengthPrefixed: return "lenprefix";
+        case WireKind::kTaggedUnion: return "union";
+    }
+    return "?";
+}
+
+std::string
+SpecError::Format(const std::string &source) const
+{
+    std::ostringstream out;
+    out << source << ":" << line << ": " << message;
+    return out.str();
+}
+
+bool
+ParseSpec(const std::string &text, const std::string &source,
+          ProtocolSpec *out, SpecError *err)
+{
+    Parser p;
+    p.spec.source = source;
+    SpecVariant *variant = nullptr;  // non-null inside variant...end
+
+    std::istringstream stream(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const std::vector<std::string> tokens = Tokenize(line);
+        if (tokens.empty())
+            continue;
+        const std::string &kw = tokens[0];
+
+        if (kw == "variant") {
+            if (variant != nullptr) {
+                p.Fail(line_no, "nested variant (missing `end`?)");
+                break;
+            }
+            uint64_t tag = 0;
+            if (tokens.size() != 3 || !ParseNumber(tokens[1], &tag) ||
+                !IsIdentifier(tokens[2])) {
+                p.Fail(line_no, "expected `variant <tag-value> <label>`");
+                break;
+            }
+            SpecVariant v;
+            v.tag = tag;
+            v.label = tokens[2];
+            v.line = line_no;
+            p.spec.variants.push_back(v);
+            variant = &p.spec.variants.back();
+            continue;
+        }
+        if (kw == "end") {
+            if (variant == nullptr) {
+                p.Fail(line_no, "`end` outside a variant");
+                break;
+            }
+            if (tokens.size() != 1) {
+                p.Fail(line_no, "trailing tokens after `end`");
+                break;
+            }
+            variant = nullptr;
+            continue;
+        }
+        if (kw == "client" || kw == "server") {
+            std::vector<FieldRule> *sink =
+                variant != nullptr
+                    ? (kw == "client" ? &variant->client_rules
+                                      : &variant->server_rules)
+                    : (kw == "client" ? &p.spec.client_rules
+                                      : &p.spec.server_rules);
+            if (!ParsePredicate(&p, tokens, 1, line_no, sink))
+                break;
+            continue;
+        }
+        if (kw == "reply") {
+            if (variant == nullptr) {
+                p.Fail(line_no, "`reply` outside a variant");
+                break;
+            }
+            uint64_t value = 0;
+            if (tokens.size() != 3 || !ParseNumber(tokens[2], &value)) {
+                p.Fail(line_no, "expected `reply <field> <value>`");
+                break;
+            }
+            ReplyAction action;
+            action.field = tokens[1];
+            action.value = value;
+            action.line = line_no;
+            variant->replies.push_back(action);
+            continue;
+        }
+
+        // Top-level-only keywords from here on.
+        if (variant != nullptr) {
+            p.Fail(line_no, "`" + kw + "` not allowed inside a variant");
+            break;
+        }
+        if (kw == "protocol") {
+            if (tokens.size() != 2 || !IsIdentifier(tokens[1])) {
+                p.Fail(line_no, "expected `protocol <name>`");
+                break;
+            }
+            p.spec.name = tokens[1];
+        } else if (kw == "wire") {
+            if (tokens.size() != 2) {
+                p.Fail(line_no, "expected `wire tlv|lenprefix|union`");
+                break;
+            }
+            if (tokens[1] == "tlv") {
+                p.spec.wire = WireKind::kTlv;
+            } else if (tokens[1] == "lenprefix") {
+                p.spec.wire = WireKind::kLengthPrefixed;
+            } else if (tokens[1] == "union") {
+                p.spec.wire = WireKind::kTaggedUnion;
+            } else {
+                p.Fail(line_no,
+                       "unknown wire kind `" + tokens[1] +
+                           "` (tlv|lenprefix|union)");
+                break;
+            }
+        } else if (kw == "length") {
+            uint64_t length = 0;
+            if (tokens.size() != 2 || !ParseNumber(tokens[1], &length) ||
+                length == 0 || length > 4096) {
+                p.Fail(line_no, "expected `length <bytes>` (1..4096)");
+                break;
+            }
+            p.spec.length = static_cast<uint32_t>(length);
+        } else if (kw == "field") {
+            uint64_t offset = 0, size = 0;
+            if (tokens.size() < 4 || !IsIdentifier(tokens[1]) ||
+                !ParseNumber(tokens[2], &offset) ||
+                !ParseNumber(tokens[3], &size)) {
+                p.Fail(line_no,
+                       "expected `field <name> <offset> <size>`");
+                break;
+            }
+            SpecField field;
+            field.name = tokens[1];
+            field.offset = static_cast<uint32_t>(offset);
+            field.size = static_cast<uint32_t>(size);
+            field.line = line_no;
+            bool bad = false;
+            for (size_t i = 4; i < tokens.size(); ++i) {
+                if (tokens[i] == "const" && i + 1 < tokens.size() &&
+                    ParseNumber(tokens[i + 1], &field.const_value)) {
+                    field.is_const = true;
+                    ++i;
+                } else if (tokens[i] == "mask") {
+                    field.masked = true;
+                } else {
+                    p.Fail(line_no, "unknown field attribute `" +
+                                        tokens[i] + "`");
+                    bad = true;
+                    break;
+                }
+            }
+            if (bad)
+                break;
+            p.spec.fields.push_back(field);
+        } else if (kw == "payload") {
+            uint64_t offset = 0, bytes = 0;
+            if (tokens.size() != 4 || !IsIdentifier(tokens[1]) ||
+                !ParseNumber(tokens[2], &offset) ||
+                !ParseNumber(tokens[3], &bytes) || bytes == 0) {
+                p.Fail(line_no,
+                       "expected `payload <name> <offset> <bytes>`");
+                break;
+            }
+            if (!p.spec.payload_name.empty()) {
+                p.Fail(line_no, "duplicate payload declaration");
+                break;
+            }
+            p.spec.payload_name = tokens[1];
+            p.spec.payload_offset = static_cast<uint32_t>(offset);
+            p.spec.payload_bytes = static_cast<uint32_t>(bytes);
+            // One single-byte field per payload position.
+            for (uint32_t i = 0; i < bytes; ++i) {
+                SpecField field;
+                field.name = tokens[1] + std::to_string(i);
+                field.offset = static_cast<uint32_t>(offset) + i;
+                field.size = 1;
+                field.is_payload_byte = true;
+                field.line = line_no;
+                p.spec.fields.push_back(field);
+            }
+        } else if (kw == "lenfield") {
+            if (tokens.size() != 2) {
+                p.Fail(line_no, "expected `lenfield <field>`");
+                break;
+            }
+            p.spec.len_field = tokens[1];
+        } else if (kw == "dispatch") {
+            if (tokens.size() != 2) {
+                p.Fail(line_no, "expected `dispatch <field>`");
+                break;
+            }
+            p.spec.dispatch_field = tokens[1];
+        } else {
+            p.Fail(line_no, "unknown keyword `" + kw + "`");
+            break;
+        }
+    }
+
+    if (!p.failed && variant != nullptr)
+        p.Fail(line_no, "unterminated variant (missing `end`)");
+    if (!p.failed)
+        Validate(&p);
+    if (p.failed) {
+        if (err != nullptr)
+            *err = p.error;
+        return false;
+    }
+    *out = std::move(p.spec);
+    return true;
+}
+
+}  // namespace spec
+}  // namespace achilles

@@ -1,0 +1,179 @@
+// Achilles reproduction -- wire-format spec frontend.
+//
+// Declarative message-format specs make protocols data instead of C++:
+// a spec names the wire discipline (TLV, length-prefixed, or tagged
+// union), the message fields (offsets, widths, constants, masks), the
+// validation predicates each side enforces, the dispatch rules, and the
+// server's reply actions. src/proto/spec/lower.* compiles a parsed spec
+// through symexec::ProgramBuilder into the client/server Programs the
+// pipeline consumes, and registers the result in the protocol registry
+// -- new protocols are files under examples/, not recompiles.
+//
+// Grammar (line-oriented; '#' starts a comment; keywords lowercase):
+//
+//   protocol <name>
+//   wire tlv | lenprefix | union
+//   length <bytes>
+//
+//   field <name> <offset> <size> [const <value>] [mask]
+//   payload <name> <offset> <bytes>      # expands to per-byte fields
+//   lenfield <name>                      # length prefix (tlv/lenprefix)
+//   dispatch <field>                     # tag field (default: first)
+//
+//   client <predicate>                   # protocol-wide client rule
+//   server <predicate>                   # protocol-wide server check
+//
+//   variant <tag-value> <label>
+//     client <predicate>
+//     server <predicate>
+//     reply <field> <value>              # reply action on accept
+//   end
+//
+// Predicates:
+//   <field> ==|!=|<|<=|>|>= <value>      # bound check
+//   <field> in <lo> .. <hi>              # range sugar (two bounds)
+//   <field> == <field> * <k> + <c>       # affine field coupling
+//
+// Client rules are what correct clients *guarantee*: plain rules become
+// validation (the client halts without sending outside them); an affine
+// client rule makes the client construct the field from its base (a
+// checksum). Server rules are what the server *checks* (reject on
+// violation). Everything a client guarantees but the server never
+// checks is a Trojan source by construction -- exactly the asymmetry
+// Achilles mines.
+//
+// Parse errors are line-anchored: ParseSpec reports the 1-based line
+// and a message, formatted "<source>:<line>: <message>".
+
+#ifndef ACHILLES_PROTO_SPEC_SPEC_H_
+#define ACHILLES_PROTO_SPEC_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace achilles {
+namespace spec {
+
+/** Wire discipline of a spec'd protocol. */
+enum class WireKind : uint8_t {
+    kTlv,             ///< tag dispatch + length prefix
+    kLengthPrefixed,  ///< length prefix only (single variant allowed)
+    kTaggedUnion,     ///< tag dispatch only
+};
+
+const char *WireKindName(WireKind kind);
+
+/** Comparison operator of a bound rule. */
+enum class RelOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/** One validation predicate (client guarantee or server check). */
+struct FieldRule
+{
+    enum class Kind : uint8_t {
+        kCompare,  ///< field <relop> value
+        kAffine,   ///< field == base * mul + add  (mod 2^width)
+    };
+    Kind kind = Kind::kCompare;
+    std::string field;
+    RelOp op = RelOp::kEq;
+    uint64_t value = 0;
+    std::string base;   ///< affine: source field
+    uint64_t mul = 1;   ///< affine: multiplier
+    uint64_t add = 0;   ///< affine: addend
+    int line = 0;       ///< 1-based spec line (error anchoring)
+};
+
+/** One named field. */
+struct SpecField
+{
+    std::string name;
+    uint32_t offset = 0;
+    uint32_t size = 1;  ///< bytes (1..8)
+    bool is_const = false;
+    uint64_t const_value = 0;
+    bool masked = false;
+    bool is_payload_byte = false;  ///< expanded from a payload decl
+    int line = 0;
+};
+
+/** Server reply action: store <value> into <field> of the reply. */
+struct ReplyAction
+{
+    std::string field;
+    uint64_t value = 0;
+    int line = 0;
+};
+
+/** One dispatch variant (message kind selected by the tag value). */
+struct SpecVariant
+{
+    uint64_t tag = 0;
+    std::string label;
+    std::vector<FieldRule> client_rules;
+    std::vector<FieldRule> server_rules;
+    std::vector<ReplyAction> replies;
+    int line = 0;
+};
+
+/** A parsed protocol spec. */
+struct ProtocolSpec
+{
+    std::string name;
+    std::string source;  ///< file name / origin (error messages)
+    WireKind wire = WireKind::kTaggedUnion;
+    uint32_t length = 0;  ///< total message bytes
+
+    std::vector<SpecField> fields;
+    std::string dispatch_field;  ///< tag field (union/tlv)
+    std::string len_field;       ///< length prefix (tlv/lenprefix)
+    /** Payload declaration ("" when absent). */
+    std::string payload_name;
+    uint32_t payload_offset = 0;
+    uint32_t payload_bytes = 0;
+
+    std::vector<FieldRule> client_rules;  ///< protocol-wide
+    std::vector<FieldRule> server_rules;  ///< protocol-wide
+    std::vector<SpecVariant> variants;
+
+    const SpecField *
+    FindField(const std::string &field_name) const
+    {
+        for (const SpecField &f : fields)
+            if (f.name == field_name)
+                return &f;
+        return nullptr;
+    }
+
+    bool HasLengthPrefix() const { return !len_field.empty(); }
+    bool
+    HasDispatch() const
+    {
+        return wire != WireKind::kLengthPrefixed;
+    }
+};
+
+/** Line-anchored parse/validation error. */
+struct SpecError
+{
+    int line = 0;  ///< 1-based; 0 = whole-file error
+    std::string message;
+
+    /** "<source>:<line>: <message>". */
+    std::string Format(const std::string &source) const;
+};
+
+/**
+ * Parse and validate a spec. Returns false with *err filled (line +
+ * message) on the first syntax or consistency error; on success *out
+ * is a fully validated spec (fields in range and non-overlapping,
+ * rules referencing known fields, variant tags unique and
+ * representable, wire-discipline requirements met).
+ */
+bool ParseSpec(const std::string &text, const std::string &source,
+               ProtocolSpec *out, SpecError *err);
+
+}  // namespace spec
+}  // namespace achilles
+
+#endif  // ACHILLES_PROTO_SPEC_SPEC_H_

@@ -1,0 +1,255 @@
+// Achilles reproduction -- synthetic protocol family sampler.
+
+#include "proto/synth/synth_family.h"
+
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace achilles {
+namespace synth {
+
+namespace {
+
+using symexec::ProgramBuilder;
+using symexec::Val;
+
+int
+Percent(double p)
+{
+    return static_cast<int>(std::lround(p * 100.0));
+}
+
+/** Fold the knob grid coordinates into one draw seed. */
+uint64_t
+MixSeed(const FamilyKnobs &knobs)
+{
+    uint64_t x = knobs.seed;
+    x = x * 0x9e3779b97f4a7c15ull + knobs.dispatch_depth;
+    x = x * 0x9e3779b97f4a7c15ull + knobs.handler_fanout;
+    x = x * 0x9e3779b97f4a7c15ull +
+        static_cast<uint64_t>(Percent(knobs.field_coupling));
+    x = x * 0x9e3779b97f4a7c15ull +
+        static_cast<uint64_t>(Percent(knobs.validation_density));
+    return x;
+}
+
+}  // namespace
+
+std::string
+FamilyName(const FamilyKnobs &knobs)
+{
+    return "synth/d" + std::to_string(knobs.dispatch_depth) + ".f" +
+           std::to_string(knobs.handler_fanout) + ".c" +
+           std::to_string(Percent(knobs.field_coupling)) + ".v" +
+           std::to_string(Percent(knobs.validation_density));
+}
+
+std::string
+ProtocolName(const FamilyKnobs &knobs)
+{
+    return FamilyName(knobs) + "/s" + std::to_string(knobs.seed);
+}
+
+SampledParams
+SampleParams(const FamilyKnobs &knobs)
+{
+    ACHILLES_CHECK(knobs.dispatch_depth >= 1 && knobs.dispatch_depth <= 6,
+                   "dispatch_depth out of range");
+    ACHILLES_CHECK(knobs.handler_fanout >= 1 &&
+                       (knobs.handler_fanout &
+                        (knobs.handler_fanout - 1)) == 0,
+                   "handler_fanout must be a power of two");
+    SampledParams out;
+    out.knobs = knobs;
+    out.num_subcommands = 1u << knobs.dispatch_depth;
+
+    // One generator, one pass: client and server are built from the
+    // same draw, so a (cell, seed) pair is one reproducible protocol.
+    Rng rng(MixSeed(knobs));
+    out.leaves.reserve(out.num_subcommands);
+    for (uint32_t i = 0; i < out.num_subcommands; ++i) {
+        LeafParams leaf;
+        leaf.arg_lo = rng.Range(0, 150);
+        leaf.arg_span = rng.Range(20, 60);  // lo + span stays in the byte
+        leaf.check_arg = rng.Chance(knobs.validation_density);
+        leaf.coupled = rng.Chance(knobs.field_coupling);
+        leaf.mul = rng.Range(1, 15) * 2 + 1;  // odd: invertible mod 256
+        leaf.add = rng.Range(0, 255);
+        leaf.tag_lo = rng.Range(0, 150);
+        leaf.tag_span = rng.Range(10, 50);
+        leaf.check_tag = rng.Chance(knobs.validation_density);
+        out.leaves.push_back(leaf);
+    }
+    return out;
+}
+
+core::MessageLayout
+MakeSampledLayout()
+{
+    // Same shape as the fixed Section 6.4 protocol.
+    return MakeLayout();
+}
+
+symexec::Program
+MakeSampledClient(const SampledParams &params)
+{
+    ProgramBuilder b("synth-sampled-client");
+    b.Function("main", {}, 0, [&] {
+        Val which = b.ReadInput("which", 8);
+        Val arg = b.ReadInput("arg", 8);
+        b.Array("msg", 8, kMessageLength);
+        for (uint32_t i = 0; i < params.num_subcommands; ++i) {
+            const LeafParams &leaf = params.leaves[i];
+            b.If(which == i, [&] {
+                b.If(arg < leaf.arg_lo, [&] { b.Halt(); });
+                b.If(arg > leaf.arg_lo + leaf.arg_span,
+                     [&] { b.Halt(); });
+                b.Store("msg", Val::Const(8, 0), Val::Const(8, i));
+                b.Store("msg", Val::Const(8, 1), arg);
+                if (leaf.coupled) {
+                    // CRC-like integrity tag over the argument.
+                    Val tag = arg * Val::Const(8, leaf.mul) +
+                              Val::Const(8, leaf.add);
+                    b.Store("msg", Val::Const(8, 2), tag);
+                } else {
+                    Val tag =
+                        b.ReadInput("tag" + std::to_string(i), 8);
+                    b.If(tag < leaf.tag_lo, [&] { b.Halt(); });
+                    b.If(tag > leaf.tag_lo + leaf.tag_span,
+                         [&] { b.Halt(); });
+                    b.Store("msg", Val::Const(8, 2), tag);
+                }
+                b.SendMessage("msg");
+            });
+        }
+    });
+    return b.Build();
+}
+
+symexec::Program
+MakeSampledServer(const SampledParams &params)
+{
+    ProgramBuilder b("synth-sampled-server");
+    b.Function("main", {}, 0, [&] {
+        b.ReceiveMessage("msg", kMessageLength);
+        Val cmd = b.Local(
+            "cmd", 8, ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, 0)));
+        Val arg = b.Local(
+            "arg", 8, ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, 1)));
+        Val tag = b.Local(
+            "tag", 8, ProgramBuilder::ArrayAt("msg", 8, Val::Const(8, 2)));
+        b.If(cmd >= params.num_subcommands, [&] { b.MarkReject(); });
+
+        const uint32_t fanout = params.knobs.handler_fanout;
+        auto leaf_body = [&](uint32_t i) {
+            const LeafParams &leaf = params.leaves[i];
+            // Validation density decides which client guarantees the
+            // server re-checks (with the exact client bounds); an
+            // unchecked field leaves its byte open, and a coupled tag
+            // is never validated -- those are the Trojan sources.
+            if (leaf.check_arg) {
+                b.If(arg < leaf.arg_lo, [&] { b.MarkReject(); });
+                b.If(arg > leaf.arg_lo + leaf.arg_span,
+                     [&] { b.MarkReject(); });
+            }
+            if (!leaf.coupled && leaf.check_tag) {
+                b.If(tag < leaf.tag_lo, [&] { b.MarkReject(); });
+                b.If(tag > leaf.tag_lo + leaf.tag_span,
+                     [&] { b.MarkReject(); });
+            }
+            // Accepting handlers, split on arg's low bits.
+            if (fanout == 1) {
+                b.MarkAccept("h" + std::to_string(i));
+                return;
+            }
+            std::function<void(uint32_t, uint32_t)> split =
+                [&](uint32_t bit, uint32_t which) {
+                    if ((1u << bit) == fanout) {
+                        b.MarkAccept("h" + std::to_string(i) + "." +
+                                     std::to_string(which));
+                        return;
+                    }
+                    const uint32_t mask = 1u << bit;
+                    b.If((arg & mask) == Val::Const(8, 0),
+                         [&] { split(bit + 1, which); },
+                         [&] { split(bit + 1, which | mask); });
+                };
+            split(0, 0);
+        };
+
+        std::function<void(uint32_t, uint32_t)> dispatch =
+            [&](uint32_t bit, uint32_t prefix) {
+                if (bit == 0) {
+                    leaf_body(prefix);
+                    return;
+                }
+                const uint32_t mask = 1u << (bit - 1);
+                b.If((cmd & mask) == Val::Const(8, 0),
+                     [&] { dispatch(bit - 1, prefix); },
+                     [&] { dispatch(bit - 1, prefix | mask); });
+            };
+        dispatch(params.knobs.dispatch_depth, 0);
+    });
+    return b.Build();
+}
+
+std::shared_ptr<const proto::ProtocolFactory>
+MakeFamilyFactory(const FamilyKnobs &knobs)
+{
+    proto::ProtocolInfo info;
+    info.name = ProtocolName(knobs);
+    info.family = FamilyName(knobs);
+    info.description =
+        "sampled synthetic protocol (depth " +
+        std::to_string(knobs.dispatch_depth) + ", fanout " +
+        std::to_string(knobs.handler_fanout) + ", coupling " +
+        std::to_string(Percent(knobs.field_coupling)) + "%, density " +
+        std::to_string(Percent(knobs.validation_density)) + "%, seed " +
+        std::to_string(knobs.seed) + ")";
+    return std::make_shared<proto::LambdaProtocolFactory>(
+        info, [] { return MakeSampledLayout(); },
+        [knobs] { return MakeSampledServer(SampleParams(knobs)); },
+        [knobs] {
+            std::vector<symexec::Program> clients;
+            clients.push_back(MakeSampledClient(SampleParams(knobs)));
+            return clients;
+        });
+}
+
+std::vector<FamilyKnobs>
+DefaultCorpus()
+{
+    std::vector<FamilyKnobs> out;
+    for (uint32_t depth : {1u, 2u, 3u}) {
+        for (uint32_t fanout : {1u, 2u}) {
+            for (double coupling : {0.0, 0.75}) {
+                for (double density : {0.25, 0.75}) {
+                    for (uint64_t seed = 0; seed < 5; ++seed) {
+                        FamilyKnobs knobs;
+                        knobs.dispatch_depth = depth;
+                        knobs.handler_fanout = fanout;
+                        knobs.field_coupling = coupling;
+                        knobs.validation_density = density;
+                        knobs.seed = seed;
+                        out.push_back(knobs);
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+void
+RegisterCorpus(proto::ProtocolRegistry *registry,
+               const std::vector<FamilyKnobs> &corpus)
+{
+    for (const FamilyKnobs &knobs : corpus) {
+        if (!registry->Has(ProtocolName(knobs)))
+            registry->Register(MakeFamilyFactory(knobs));
+    }
+}
+
+}  // namespace synth
+}  // namespace achilles

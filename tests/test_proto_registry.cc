@@ -1,0 +1,218 @@
+// Achilles reproduction -- tests.
+//
+// Protocol registry: resolving a substrate by name must be
+// observationally identical to hand-wiring its legacy constructors
+// (same witness labels, concrete bytes, and canonical definition
+// hashes), and the sampled synthetic corpus must be reproducible --
+// the same (cell, seed) pair yields the same protocol and the same
+// witness set at any worker count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/achilles.h"
+#include "core/path_predicate.h"
+#include "proto/fsp/fsp_protocol.h"
+#include "proto/paxos/paxos.h"
+#include "proto/pbft/pbft_protocol.h"
+#include "proto/registry.h"
+#include "proto/synth/synth_family.h"
+#include "proto/toy/toy_protocol.h"
+
+namespace achilles {
+namespace proto {
+namespace {
+
+/** (accept label, concrete bytes, canonical definition hash). */
+using WitnessSummary =
+    std::tuple<std::string, std::vector<uint8_t>, uint64_t>;
+
+std::vector<WitnessSummary>
+RunPipeline(const core::MessageLayout &layout,
+            const std::vector<const symexec::Program *> &clients,
+            const symexec::Program *server, size_t workers = 1)
+{
+    smt::ExprContext ctx;
+    smt::Solver solver(&ctx);
+    core::AchillesConfig config;
+    config.layout = layout;
+    config.clients = clients;
+    config.server = server;
+    config.server_config.engine.num_workers = workers;
+    const core::AchillesResult result =
+        core::RunAchilles(&ctx, &solver, config);
+
+    core::CanonicalHasher hasher(&ctx);
+    std::vector<WitnessSummary> out;
+    for (const core::TrojanWitness &t : result.server.trojans)
+        out.emplace_back(t.accept_label, t.concrete,
+                         hasher.HashExprs(t.definition));
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<WitnessSummary>
+RunBundle(const ProtocolBundle &bundle, size_t workers = 1)
+{
+    return RunPipeline(bundle.layout, bundle.ClientPtrs(),
+                       &bundle.server, workers);
+}
+
+std::vector<WitnessSummary>
+RunRegistered(const std::string &name, size_t workers = 1)
+{
+    const auto factory = ProtocolRegistry::Global().Find(name);
+    EXPECT_NE(factory, nullptr) << name;
+    return RunBundle(factory->Make(), workers);
+}
+
+TEST(ProtoRegistry, BuiltinsAndCorpusArePresent)
+{
+    ProtocolRegistry &registry = ProtocolRegistry::Global();
+    for (const char *name :
+         {"fsp", "pbft", "toy", "toy-fixed", "paxos", "paxos-symbolic",
+          "paxos-overapprox"}) {
+        EXPECT_TRUE(registry.Has(name)) << name;
+        EXPECT_EQ(registry.Find(name)->info().family, "builtin") << name;
+    }
+    EXPECT_EQ(registry.Find("no-such-protocol"), nullptr);
+
+    // The seeded corpus promises 100+ protocols, listed in sorted order.
+    const std::vector<std::string> names = registry.Names();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    const size_t sampled = static_cast<size_t>(std::count_if(
+        names.begin(), names.end(), [](const std::string &n) {
+            return n.rfind("synth/", 0) == 0;
+        }));
+    EXPECT_GE(sampled, 100u);
+}
+
+TEST(ProtoRegistry, RegisterOrReplaceOverwrites)
+{
+    ProtocolRegistry local;
+    auto make = [](const std::string &desc) {
+        ProtocolInfo info;
+        info.name = "x";
+        info.family = "spec";
+        info.description = desc;
+        return std::make_shared<LambdaProtocolFactory>(
+            info, [] { return toy::MakeLayout(); },
+            [] { return toy::MakeServer(); },
+            [] {
+                std::vector<symexec::Program> out;
+                out.push_back(toy::MakeClient());
+                return out;
+            });
+    };
+    local.Register(make("first"));
+    local.RegisterOrReplace(make("second"));
+    ASSERT_EQ(local.size(), 1u);
+    EXPECT_EQ(local.Find("x")->info().description, "second");
+}
+
+// -- Registry vs direct construction: bitwise-identical witness sets. --
+
+TEST(ProtoRegistry, FspMatchesDirectConstruction)
+{
+    const core::MessageLayout layout = fsp::MakeLayout();
+    const std::vector<symexec::Program> clients = fsp::MakeAllClients();
+    const symexec::Program server = fsp::MakeServer();
+    std::vector<const symexec::Program *> client_ptrs;
+    for (const symexec::Program &c : clients)
+        client_ptrs.push_back(&c);
+
+    const auto direct = RunPipeline(layout, client_ptrs, &server);
+    EXPECT_FALSE(direct.empty());
+    EXPECT_EQ(direct, RunRegistered("fsp"));
+}
+
+TEST(ProtoRegistry, PbftMatchesDirectConstruction)
+{
+    const core::MessageLayout layout = pbft::MakeLayout();
+    const symexec::Program client = pbft::MakeClient();
+    const symexec::Program server = pbft::MakeReplica();
+
+    const auto direct = RunPipeline(layout, {&client}, &server);
+    EXPECT_FALSE(direct.empty());
+    EXPECT_EQ(direct, RunRegistered("pbft"));
+}
+
+TEST(ProtoRegistry, ToyMatchesDirectConstruction)
+{
+    const core::MessageLayout layout = toy::MakeLayout();
+    const symexec::Program client = toy::MakeClient();
+    const symexec::Program server = toy::MakeServer();
+
+    const auto direct = RunPipeline(layout, {&client}, &server);
+    EXPECT_FALSE(direct.empty());
+    EXPECT_EQ(direct, RunRegistered("toy"));
+}
+
+TEST(ProtoRegistry, PaxosMatchesDirectConstruction)
+{
+    const core::MessageLayout layout = paxos::MakeLayout();
+    const symexec::Program client =
+        paxos::MakeProposer(paxos::LocalStateMode::kConcrete);
+    const symexec::Program server =
+        paxos::MakeAcceptor(paxos::LocalStateMode::kConcrete);
+
+    const auto direct = RunPipeline(layout, {&client}, &server);
+    EXPECT_EQ(direct, RunRegistered("paxos"));
+}
+
+// -- Sampled corpus reproducibility. --
+
+TEST(ProtoRegistry, SampleParamsIsDeterministic)
+{
+    synth::FamilyKnobs knobs;
+    knobs.dispatch_depth = 3;
+    knobs.handler_fanout = 2;
+    knobs.field_coupling = 0.75;
+    knobs.validation_density = 0.25;
+    knobs.seed = 4;
+
+    const synth::SampledParams a = synth::SampleParams(knobs);
+    const synth::SampledParams b = synth::SampleParams(knobs);
+    ASSERT_EQ(a.num_subcommands, 8u);
+    ASSERT_EQ(a.leaves.size(), b.leaves.size());
+    for (size_t i = 0; i < a.leaves.size(); ++i) {
+        EXPECT_EQ(a.leaves[i].arg_lo, b.leaves[i].arg_lo);
+        EXPECT_EQ(a.leaves[i].arg_span, b.leaves[i].arg_span);
+        EXPECT_EQ(a.leaves[i].check_arg, b.leaves[i].check_arg);
+        EXPECT_EQ(a.leaves[i].coupled, b.leaves[i].coupled);
+        EXPECT_EQ(a.leaves[i].mul, b.leaves[i].mul);
+        EXPECT_EQ(a.leaves[i].add, b.leaves[i].add);
+        EXPECT_EQ(a.leaves[i].tag_lo, b.leaves[i].tag_lo);
+        EXPECT_EQ(a.leaves[i].tag_span, b.leaves[i].tag_span);
+        EXPECT_EQ(a.leaves[i].check_tag, b.leaves[i].check_tag);
+    }
+
+    // A neighboring seed draws a different protocol.
+    knobs.seed = 3;
+    const synth::SampledParams c = synth::SampleParams(knobs);
+    bool any_diff = false;
+    for (size_t i = 0; i < a.leaves.size(); ++i)
+        any_diff |= a.leaves[i].arg_lo != c.leaves[i].arg_lo ||
+                    a.leaves[i].tag_lo != c.leaves[i].tag_lo;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(ProtoRegistry, SampledProtocolIsWorkerCountInvariant)
+{
+    // A high-coupling cell: coupled tags guarantee Trojan content, so
+    // the equality below compares non-trivial witness sets.
+    const std::string name = "synth/d2.f2.c75.v25/s0";
+    const auto baseline = RunRegistered(name, 1);
+    EXPECT_FALSE(baseline.empty());
+    for (size_t workers : {2u, 4u, 8u})
+        EXPECT_EQ(baseline, RunRegistered(name, workers))
+            << name << " with " << workers << " workers";
+}
+
+}  // namespace
+}  // namespace proto
+}  // namespace achilles

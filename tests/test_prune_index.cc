@@ -16,7 +16,7 @@
 #include <tuple>
 #include <vector>
 
-#include "bench/synth_protocol.h"
+#include "proto/synth/synth_family.h"
 #include "core/achilles.h"
 #include "exec/clause_exchange.h"
 #include "exec/expr_transfer.h"

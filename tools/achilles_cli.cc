@@ -1,21 +1,27 @@
 // Achilles reproduction -- command-line driver.
 //
 // Run the full pipeline (client predicate extraction, preprocessing,
-// server exploration) on one of the built-in protocols with the
-// observability layer attached:
+// server exploration) on any registry protocol with the observability
+// layer attached:
 //
-//   achilles_cli [--protocol fsp|pbft|toy] [--workers N] [--clients N]
+//   achilles_cli [--protocol <name>] [--spec <file>] [--list-protocols]
+//                [--workers N] [--clients N]
 //                [--metrics-out <path>] [--trace-out <path>]
 //                [--progress[=secs]]
 //
-//   --protocol     which built-in protocol pair to analyze (default fsp)
-//   --workers      server-exploration worker threads (default 1)
-//   --clients      client programs to include, fsp only (default all)
-//   --metrics-out  write the end-of-run RunReport as one JSON object
-//   --trace-out    write the Chrome trace-event JSON (open the file in
-//                  chrome://tracing or https://ui.perfetto.dev)
-//   --progress     print a live progress heartbeat every second (or
-//                  every `secs` with --progress=secs)
+//   --protocol       registry protocol to analyze (default fsp); any
+//                    name from --list-protocols, including the sampled
+//                    synth/<cell>/s<seed> corpus entries
+//   --spec           parse + register a wire-format spec file and
+//                    analyze it (overrides --protocol)
+//   --list-protocols print every registered protocol name and exit
+//   --workers        server-exploration worker threads (default 1)
+//   --clients        client programs to include (default all)
+//   --metrics-out    write the end-of-run RunReport as one JSON object
+//   --trace-out      write the Chrome trace-event JSON (open the file in
+//                    chrome://tracing or https://ui.perfetto.dev)
+//   --progress       print a live progress heartbeat every second (or
+//                    every `secs` with --progress=secs)
 //
 // Log verbosity follows the ACHILLES_LOG environment variable
 // (debug|info|warn|error|off).
@@ -31,9 +37,8 @@
 #include "core/achilles.h"
 #include "obs/heartbeat.h"
 #include "obs/log.h"
-#include "proto/fsp/fsp_protocol.h"
-#include "proto/pbft/pbft_protocol.h"
-#include "proto/toy/toy_protocol.h"
+#include "proto/registry.h"
+#include "proto/spec/lower.h"
 
 using namespace achilles;
 
@@ -44,7 +49,9 @@ Usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--protocol fsp|pbft|toy] [--workers N] [--clients N]\n"
+        "usage: %s [--protocol <name>] [--spec <file>] "
+        "[--list-protocols]\n"
+        "          [--workers N] [--clients N]\n"
         "          [--metrics-out <path>] [--trace-out <path>]\n"
         "          [--progress[=secs]]\n",
         argv0);
@@ -56,6 +63,8 @@ int
 main(int argc, char **argv)
 {
     std::string protocol = "fsp";
+    std::string spec_path;
+    bool list_protocols = false;
     size_t workers = 1;
     size_t num_clients = static_cast<size_t>(-1);
     std::string metrics_path;
@@ -67,6 +76,10 @@ main(int argc, char **argv)
         const bool has_value = i + 1 < argc;
         if (std::strcmp(arg, "--protocol") == 0 && has_value) {
             protocol = argv[++i];
+        } else if (std::strcmp(arg, "--spec") == 0 && has_value) {
+            spec_path = argv[++i];
+        } else if (std::strcmp(arg, "--list-protocols") == 0) {
+            list_protocols = true;
         } else if (std::strcmp(arg, "--workers") == 0 && has_value) {
             workers = static_cast<size_t>(std::atoi(argv[++i]));
         } else if (std::strcmp(arg, "--clients") == 0 && has_value) {
@@ -93,31 +106,43 @@ main(int argc, char **argv)
     if (workers < 1)
         workers = 1;
 
-    // Build the protocol pair. The program objects must outlive the
-    // pipeline, so each branch fills these holders.
-    std::vector<symexec::Program> clients;
-    symexec::Program server;
-    core::MessageLayout layout;
-    if (protocol == "fsp") {
-        clients = fsp::MakeAllClients();
-        if (num_clients < clients.size())
-            clients.resize(num_clients);
-        server = fsp::MakeServer();
-        layout = fsp::MakeLayout();
-    } else if (protocol == "pbft") {
-        clients.push_back(pbft::MakeClient());
-        server = pbft::MakeReplica();
-        layout = pbft::MakeLayout();
-    } else if (protocol == "toy") {
-        clients.push_back(toy::MakeClient());
-        server = toy::MakeServer();
-        layout = toy::MakeLayout();
-    } else {
-        std::fprintf(stderr, "%s: unknown protocol %s\n", argv[0],
-                     protocol.c_str());
+    proto::ProtocolRegistry &registry = proto::ProtocolRegistry::Global();
+
+    if (list_protocols) {
+        for (const std::string &name : registry.Names()) {
+            const auto factory = registry.Find(name);
+            std::printf("%-32s %-12s %s\n", name.c_str(),
+                        factory->info().family.c_str(),
+                        factory->info().description.c_str());
+        }
+        return 0;
+    }
+
+    // A spec file joins the registry at load time and becomes the
+    // analyzed protocol.
+    if (!spec_path.empty()) {
+        std::string error;
+        if (!spec::RegisterSpecFile(spec_path, &registry, &protocol,
+                                    &error)) {
+            std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+            return 2;
+        }
+    }
+
+    const auto factory = registry.Find(protocol);
+    if (factory == nullptr) {
+        std::fprintf(stderr,
+                     "%s: unknown protocol %s (try --list-protocols)\n",
+                     argv[0], protocol.c_str());
         Usage(argv[0]);
         return 2;
     }
+
+    // The bundle owns the layout and programs for the pipeline's
+    // lifetime (AchillesConfig stores raw pointers).
+    proto::ProtocolBundle bundle = factory->Make();
+    if (num_clients < bundle.clients.size())
+        bundle.clients.resize(num_clients);
 
     // Observability sinks: metrics whenever any obs output is wanted
     // (the heartbeat and the report both read the registry), tracing
@@ -125,14 +150,14 @@ main(int argc, char **argv)
     // exploration workers own lanes 1..N.
     const bool want_metrics =
         !metrics_path.empty() || progress_secs > 0 || !trace_path.empty();
-    std::unique_ptr<obs::MetricsRegistry> registry;
+    std::unique_ptr<obs::MetricsRegistry> obs_registry;
     std::unique_ptr<obs::TraceRecorder> tracer;
     if (want_metrics)
-        registry = std::make_unique<obs::MetricsRegistry>(workers + 1);
+        obs_registry = std::make_unique<obs::MetricsRegistry>(workers + 1);
     if (!trace_path.empty())
         tracer = std::make_unique<obs::TraceRecorder>(workers + 1);
     obs::ObsHandle obs_handle;
-    obs_handle.registry = registry.get();
+    obs_handle.registry = obs_registry.get();
     obs_handle.tracer = tracer.get();
 
     smt::ExprContext ctx;
@@ -141,17 +166,16 @@ main(int argc, char **argv)
     smt::Solver solver(&ctx, solver_config);
 
     core::AchillesConfig config;
-    config.layout = layout;
-    for (const symexec::Program &c : clients)
-        config.clients.push_back(&c);
-    config.server = &server;
+    config.layout = bundle.layout;
+    config.clients = bundle.ClientPtrs();
+    config.server = &bundle.server;
     config.server_config.engine.num_workers = workers;
     config.obs = obs_handle;
 
     std::unique_ptr<obs::Heartbeat> heartbeat;
-    if (registry != nullptr && progress_secs > 0) {
-        heartbeat =
-            std::make_unique<obs::Heartbeat>(registry.get(), progress_secs);
+    if (obs_registry != nullptr && progress_secs > 0) {
+        heartbeat = std::make_unique<obs::Heartbeat>(obs_registry.get(),
+                                                     progress_secs);
         heartbeat->Start();
     }
 
@@ -161,8 +185,9 @@ main(int argc, char **argv)
     if (heartbeat != nullptr)
         heartbeat->Stop();
 
-    std::printf("protocol %s: %zu client(s), %zu worker(s)\n",
-                protocol.c_str(), config.clients.size(), workers);
+    std::printf("protocol %s (%s): %zu client(s), %zu worker(s)\n",
+                protocol.c_str(), factory->info().family.c_str(),
+                config.clients.size(), workers);
     std::printf("time: %.3f s (client %.3f + preprocess %.3f + "
                 "server %.3f)\n",
                 result.timings.Total(), result.timings.client_extraction,
@@ -174,6 +199,16 @@ main(int argc, char **argv)
         for (uint8_t b : t.concrete)
             std::printf(" %02x", b);
         std::printf("\n");
+    }
+    // Cross-check against the protocol's concrete counterpart where one
+    // exists (fsp/pbft): every witness must be a real Trojan.
+    if (const auto oracle = factory->MakeConcreteOracle()) {
+        size_t confirmed = 0;
+        for (const core::TrojanWitness &t : result.server.trojans)
+            if (oracle(t.concrete))
+                ++confirmed;
+        std::printf("concrete oracle confirms %zu/%zu witnesses\n",
+                    confirmed, result.server.trojans.size());
     }
 
     int status = 0;
