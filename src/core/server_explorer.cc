@@ -11,6 +11,27 @@
 namespace achilles {
 namespace core {
 
+namespace {
+
+/**
+ * True when every assertion evaluates true under `model` -- which,
+ * because a Model is a total concrete assignment (absent variables read
+ * as zero), proves the conjunction satisfiable. Nothing follows from a
+ * false evaluation: the model just fails to witness this query.
+ */
+bool
+AllTrueUnder(const std::vector<smt::ExprRef> &assertions,
+             const smt::Model &model)
+{
+    for (smt::ExprRef e : assertions) {
+        if (!smt::EvaluateBool(e, model))
+            return false;
+    }
+    return true;
+}
+
+}  // namespace
+
 /** Per-state payload: indices of client predicates still matching. */
 struct ServerExplorer::LiveSet : public symexec::StateUserData
 {
@@ -479,6 +500,23 @@ ServerExplorer::TrojanQuery(
         }
         negations.push_back((*plane.negations)[i]);
     }
+    // Concrete pre-filter: a standing assignment satisfying the path
+    // and every live negation proves the pruning query kSat outright
+    // (keep the state) with zero solver work. Restricted to model-less
+    // queries -- witness-producing ones must run the fresh-instance
+    // path for their deterministic model bytes. Decision-identical:
+    // the filter only ever answers an exact kSat the solver would have
+    // answered too (or conservatively kept via kUnknown on a budgeted
+    // stream), and it can never fire for an unsatisfiable query.
+    if (model == nullptr && config_.use_concrete_prefilter) {
+        const smt::Model *standing = plane.solver->StandingModel();
+        if (standing != nullptr &&
+            AllTrueUnder(path_constraints, *standing) &&
+            AllTrueUnder(negations, *standing)) {
+            plane.stats->Bump("explorer.prefilter_trojan_hits");
+            return smt::CheckResult(smt::CheckStatus::kSat);
+        }
+    }
     // Pruning (model-less) queries may run on the dedicated
     // stream-budgeted Trojan solver; witness-producing queries always
     // use the main solver's deterministic fresh-instance path for
@@ -552,6 +590,18 @@ ServerExplorer::HandleBranch(Plane &plane, symexec::State &state,
         const bool overlay_usable =
             cores_usable && path_fps_ok &&
             config_.use_different_from && different_from_ != nullptr;
+        // Concrete pre-filter context, computed once per branch: the
+        // path-constraint evaluation is shared by every live predicate,
+        // so each predicate costs only its own match conjuncts.
+        const smt::Model *standing = config_.use_concrete_prefilter
+                                         ? plane.solver->StandingModel()
+                                         : nullptr;
+        const bool path_holds =
+            standing != nullptr &&
+            AllTrueUnder(state.constraints(), *standing);
+        const bool batch = config_.use_batch_sweep;
+        int64_t prefilter_hits = 0;
+        std::vector<uint32_t> queued;
         std::vector<uint32_t> survivors;
         survivors.reserve(data->live.size());
         // Per-predicate verdicts: 1 = drop via the differentFrom value
@@ -596,6 +646,23 @@ ServerExplorer::HandleBranch(Plane &plane, symexec::State &state,
                 }
                 continue;
             }
+            // Concrete pre-filter: the standing model satisfying pathS
+            // and match_i proves the match query kSat -- keep i with no
+            // solver call. kUnsat decisions are untouched (no
+            // assignment satisfies an unsatisfiable query), so drops,
+            // value-class marks and cores fire on exactly the same
+            // queries as with the filter off.
+            if (path_holds && AllTrueUnder((*plane.match)[i], *standing)) {
+                ++prefilter_hits;
+                survivors.push_back(i);
+                decided[i] = 2;
+                continue;
+            }
+            if (batch) {
+                // Deferred to the one-pass sweep below.
+                queued.push_back(i);
+                continue;
+            }
             const smt::CheckResult r = PredicateMatches(plane, state, i);
             if (r != smt::CheckResult::kUnsat) {
                 survivors.push_back(i);
@@ -619,6 +686,67 @@ ServerExplorer::HandleBranch(Plane &plane, symexec::State &state,
             // constraint touched.
             if (cores_usable && r.has_core)
                 CoreGuidedDrops(plane, state, r, i, data->live, &decided);
+        }
+        if (prefilter_hits > 0) {
+            plane.stats->Bump("explorer.prefilter_hits", prefilter_hits);
+            if (plane.obs.metrics_on()) {
+                plane.obs.CounterFor("explorer.prefilter_hits")
+                    .Bump(prefilter_hits);
+            }
+        }
+        if (batch && !queued.empty()) {
+            // Batched all-sat sweep: one CheckSatBatch pass answers
+            // every still-undecided live predicate. Verdict-exact vs
+            // the per-predicate loop -- the shortcuts the serial path
+            // would have taken (differentFrom value-class marks, core
+            // drops) only ever skip queries whose answer is kUnsat, and
+            // the sweep answers those kUnsat explicitly, so the
+            // survivor set (and with it every witness byte) is
+            // identical. explorer.match_queries counts solver passes:
+            // a sweep contributes its rounds, which is exactly the
+            // stream compression the --batch ablation measures.
+            obs::ScopedSpan span(plane.obs.tracer, plane.obs.lane,
+                                 "explorer.batch_sweep", "explorer");
+            std::vector<const std::vector<smt::ExprRef> *> groups;
+            groups.reserve(queued.size());
+            for (uint32_t i : queued)
+                groups.push_back(&(*plane.match)[i]);
+            const smt::BatchOutcome outcome =
+                plane.solver->CheckSatBatch(state.constraints(), groups);
+            plane.stats->Bump("explorer.batch_sweeps");
+            plane.stats->Bump("explorer.batch_guards",
+                              static_cast<int64_t>(queued.size()));
+            plane.stats->Bump("explorer.batch_rounds", outcome.rounds);
+            plane.stats->Bump("explorer.match_queries", outcome.rounds);
+            if (plane.obs.metrics_on()) {
+                plane.obs.CounterFor("explorer.batch_sweeps").Bump();
+                plane.obs.CounterFor("explorer.batch_guards")
+                    .Bump(static_cast<int64_t>(queued.size()));
+                plane.obs.CounterFor("explorer.batch_rounds")
+                    .Bump(outcome.rounds);
+            }
+            if (plane.obs.enabled()) {
+                span.AddArg("guards", static_cast<int64_t>(queued.size()));
+                span.AddArg("rounds", outcome.rounds);
+            }
+            for (size_t k = 0; k < queued.size(); ++k) {
+                const uint32_t i = queued[k];
+                if (outcome.verdicts[k] == smt::CheckResult::kUnsat) {
+                    decided[i] = 1;
+                    plane.stats->Bump("explorer.predicate_drops");
+                } else {
+                    // kSat -- or kUnknown off a budgeted fallback:
+                    // conservatively keep (never drop on kUnknown).
+                    decided[i] = 2;
+                }
+            }
+            // Rebuild the survivor set in original live order: sweep
+            // verdicts interleave with prefilter and overlay decisions.
+            survivors.clear();
+            for (uint32_t i : data->live) {
+                if (decided[i] == 2)
+                    survivors.push_back(i);
+            }
         }
         data->live = std::move(survivors);
     }

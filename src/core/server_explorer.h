@@ -97,6 +97,43 @@ struct ServerExplorerConfig
      * witness-producing queries stay on the main unbudgeted solver.
      */
     smt::StreamBudget trojan_stream_budget;
+    /**
+     * Concrete pre-filter over the solver's standing model: before any
+     * solver call, evaluate the query's assertions under the last
+     * satisfying assignment the solver left standing
+     * (Solver::StandingModel, pure concrete evaluation via smt/eval).
+     * A query every assertion of which evaluates true is kSat by
+     * construction -- the standing values are a genuine assignment --
+     * so match checks answer "still matches" and pruning checks answer
+     * "still Trojan-triggerable" with zero solver work. The filter can
+     * only ever answer kSat (no assignment satisfies an unsatisfiable
+     * query), so kUnsat decisions -- drops, prunes, cores -- are taken
+     * by exactly the same queries as with the filter off, and witness
+     * sets are bitwise identical. Off by default: prefiltered kSat
+     * answers skip the solver calls whose cache entries and learned
+     * clauses the default configuration's ablation gates count on, so
+     * the toggle is opt-in like the other ablation axes.
+     */
+    bool use_concrete_prefilter = false;
+    /**
+     * Batched all-sat sweep over the per-branch predicate-match stream:
+     * instead of one CheckSatAssuming per undecided live predicate,
+     * HandleBranch collects the residue (after differentFrom, overlay,
+     * core and prefilter decisions) and answers it with a single
+     * Solver::CheckSatBatch pass -- per-guard verdicts enumerated from
+     * one incremental search tree. Verdict-exact: every group gets the
+     * same kSat/kUnsat answer the per-predicate loop would compute, so
+     * survivor sets and witness bytes are bitwise identical. Batch
+     * kUnsat verdicts carry no cores, so core-guided transitive drops
+     * do not fire inside a sweep (the verdicts themselves already cover
+     * every swept predicate; only the core-ablation *query counts*
+     * differ, which is why the toggle defaults off and the --batch
+     * ablation grid measures it explicitly). On budgeted solvers the
+     * facade falls back to per-group queries with per-group kUnknown
+     * conservatism: an exhausted budget mid-sweep keeps every
+     * unanswered predicate alive.
+     */
+    bool use_batch_sweep = false;
 };
 
 /**

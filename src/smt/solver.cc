@@ -64,8 +64,11 @@ Solver::Solver(ExprContext *ctx, SolverConfig config)
         obs_queries_ = config_.obs.CounterFor("solver.queries");
         obs_unknowns_ = config_.obs.CounterFor("solver.unknowns");
         obs_memo_hits_ = config_.obs.CounterFor("solver.memo_hits");
+        obs_batch_sweeps_ = config_.obs.CounterFor("solver.batch_sweeps");
+        obs_batch_guards_ = config_.obs.CounterFor("solver.batch_guards");
         obs_conflicts_ = config_.obs.DistributionFor("solver.conflicts");
         obs_core_size_ = config_.obs.DistributionFor("solver.core_size");
+        obs_batch_rounds_ = config_.obs.DistributionFor("solver.batch_rounds");
     }
 }
 
@@ -332,6 +335,19 @@ Solver::CheckSatSets(const std::vector<ExprRef> &base,
         status = SolveFresh(live, &out_model);
     }
 
+    if (config_.retain_models && status == CheckStatus::kSat) {
+        if (incremental_path) {
+            // The assignment is standing in the persistent instance;
+            // extraction is deferred to the next StandingModel() read.
+            standing_live_ = live;
+        } else {
+            for (const auto &[id, value] : out_model.values())
+                standing_model_.Set(id, value);
+            has_standing_model_ = true;
+            standing_live_.clear();  // the fresh values are newer
+        }
+    }
+
     if (config_.enable_cache && status != CheckStatus::kUnknown) {
         // has_model: kSat entries carry a model only when one was
         // computed; kUnsat/kUnknown answers have the empty model by
@@ -485,14 +501,14 @@ Solver::InstallFetchedLemmas()
     }
 }
 
-CheckStatus
-Solver::SolveIncremental(const std::vector<ExprRef> &live, bool *has_core,
-                         std::vector<uint32_t> *core)
+void
+Solver::EnsureIncrementalBackend()
 {
-    *has_core = false;
-    core->clear();
     if (inc_ && inc_->sat.NumVars() > config_.incremental_max_vars) {
         stats_.Bump("solver.incremental_resets");
+        // A deferred standing assignment lives in the instance about to
+        // die; pull it into the rolling model first.
+        RefreshStandingModel();
         inc_.reset();
         inc_conflicts_seen_ = 0;
         inc_decisions_seen_ = 0;
@@ -507,16 +523,16 @@ Solver::SolveIncremental(const std::vector<ExprRef> &live, bool *has_core,
         if (config_.clause_sink != nullptr)
             InstallExportHook();
     }
-    stats_.Bump("solver.incremental_sat_calls");
-    inc_->sat.SetMinimizeCore(config_.enable_cores &&
-                              config_.minimize_cores);
-    inc_->sat.SetTrailReuse(config_.enable_trail_reuse);
+}
 
+bool
+Solver::GuardAssertions(const std::vector<ExprRef> &live,
+                        std::vector<Lit> *assumptions)
+{
     const bool exchange = config_.clause_sink != nullptr ||
                           config_.clause_source != nullptr;
     bool new_guards = false;
-    std::vector<Lit> assumptions;
-    assumptions.reserve(live.size());
+    assumptions->reserve(assumptions->size() + live.size());
     for (ExprRef e : live) {
         const Lit guard = inc_->blaster.ActivationLit(e);
         if (exchange && inc_->guarded.insert(e).second) {
@@ -530,28 +546,35 @@ Solver::SolveIncremental(const std::vector<ExprRef> &live, bool *has_core,
             if (e->max_var_bound() <= config_.clause_share_var_limit)
                 inc_->sat.SetVarShared(guard.var(), true);
         }
-        assumptions.push_back(guard);
+        assumptions->push_back(guard);
     }
-    if (config_.clause_source != nullptr) {
-        const size_t before = fetched_lemmas_.size();
-        std::vector<std::vector<LemmaFingerprint>> fresh;
-        config_.clause_source->FetchLemmas(&fresh);
-        for (std::vector<LemmaFingerprint> &fps : fresh)
-            fetched_lemmas_.push_back(FetchedLemma{std::move(fps), false});
-        if (fetched_lemmas_.size() > before) {
-            stats_.Bump("solver.lemmas_fetched",
-                        static_cast<int64_t>(fetched_lemmas_.size() -
-                                             before));
-        }
-        // Resolution can only change when a new lemma or a new guard
-        // arrived; skipping the scan otherwise keeps the per-query cost
-        // at two branch tests.
-        if (new_guards || fetched_lemmas_.size() > before)
-            InstallFetchedLemmas();
-    }
-    const SatStatus status =
-        inc_->sat.Solve(assumptions, config_.max_conflicts);
+    return new_guards;
+}
 
+void
+Solver::SyncLemmaExchange(bool new_guards)
+{
+    if (config_.clause_source == nullptr)
+        return;
+    const size_t before = fetched_lemmas_.size();
+    std::vector<std::vector<LemmaFingerprint>> fresh;
+    config_.clause_source->FetchLemmas(&fresh);
+    for (std::vector<LemmaFingerprint> &fps : fresh)
+        fetched_lemmas_.push_back(FetchedLemma{std::move(fps), false});
+    if (fetched_lemmas_.size() > before) {
+        stats_.Bump("solver.lemmas_fetched",
+                    static_cast<int64_t>(fetched_lemmas_.size() - before));
+    }
+    // Resolution can only change when a new lemma or a new guard
+    // arrived; skipping the scan otherwise keeps the per-query cost
+    // at two branch tests.
+    if (new_guards || fetched_lemmas_.size() > before)
+        InstallFetchedLemmas();
+}
+
+void
+Solver::DrainIncrementalStats()
+{
     const int64_t conflicts = inc_->sat.stats().Get("sat.conflicts");
     const int64_t decisions = inc_->sat.stats().Get("sat.decisions");
     const int64_t reuses = inc_->sat.stats().Get("sat.trail_reuses");
@@ -561,6 +584,26 @@ Solver::SolveIncremental(const std::vector<ExprRef> &live, bool *has_core,
     inc_conflicts_seen_ = conflicts;
     inc_decisions_seen_ = decisions;
     inc_trail_reuses_seen_ = reuses;
+}
+
+CheckStatus
+Solver::SolveIncremental(const std::vector<ExprRef> &live, bool *has_core,
+                         std::vector<uint32_t> *core)
+{
+    *has_core = false;
+    core->clear();
+    EnsureIncrementalBackend();
+    stats_.Bump("solver.incremental_sat_calls");
+    inc_->sat.SetMinimizeCore(config_.enable_cores &&
+                              config_.minimize_cores);
+    inc_->sat.SetTrailReuse(config_.enable_trail_reuse);
+
+    std::vector<Lit> assumptions;
+    const bool new_guards = GuardAssertions(live, &assumptions);
+    SyncLemmaExchange(new_guards);
+    const SatStatus status =
+        inc_->sat.Solve(assumptions, config_.max_conflicts);
+    DrainIncrementalStats();
 
     switch (status) {
       case SatStatus::kUnsat:
@@ -588,6 +631,187 @@ Solver::SolveIncremental(const std::vector<ExprRef> &live, bool *has_core,
       case SatStatus::kSat: return CheckStatus::kSat;
     }
     ACHILLES_UNREACHABLE("bad SatStatus");
+}
+
+BatchOutcome
+Solver::CheckSatBatch(const std::vector<ExprRef> &base,
+                      const std::vector<const std::vector<ExprRef> *> &groups)
+{
+    BatchOutcome out;
+    out.verdicts.resize(groups.size());
+    if (groups.empty())
+        return out;
+    stats_.Bump("solver.batch_sweeps");
+    stats_.Bump("solver.batch_guards", static_cast<int64_t>(groups.size()));
+    obs_batch_sweeps_.Bump();
+    obs_batch_guards_.Bump(static_cast<int64_t>(groups.size()));
+    obs::ScopedSpan span(config_.obs.tracer, config_.obs.lane,
+                         "solver.batch", "solver");
+
+    if (!(config_.enable_incremental && config_.unbudgeted())) {
+        // Budgeted or incremental-off configurations fall back to the
+        // per-group loop (virtual, so a decorator's shared cache is
+        // still consulted). kUnknown keeps its conservative meaning per
+        // group, and these configurations never produce cores, so the
+        // batch core-less contract holds for free.
+        stats_.Bump("solver.batch_fallbacks");
+        for (size_t i = 0; i < groups.size(); ++i)
+            out.verdicts[i] = CheckSatAssuming(base, *groups[i]);
+        out.rounds = static_cast<int64_t>(groups.size());
+        obs_batch_rounds_.Record(out.rounds);
+        return out;
+    }
+
+    // Answer what the memo cache and trivial canonicalization already
+    // know; only the residue is swept.
+    struct Residue
+    {
+        size_t index;
+        std::vector<ExprRef> live;  // canonical base ∥ group assertion set
+    };
+    std::vector<Residue> residue;
+    residue.reserve(groups.size());
+    int64_t cache_hits = 0;
+    for (size_t i = 0; i < groups.size(); ++i) {
+        std::vector<ExprRef> live;
+        std::vector<uint32_t> caller_index;
+        uint32_t false_index = 0;
+        if (!Canonicalize(base, groups[i], &live, &caller_index,
+                          &false_index)) {
+            stats_.Bump("solver.trivial_unsat");
+            out.verdicts[i] = CheckStatus::kUnsat;
+            continue;
+        }
+        if (live.empty()) {
+            stats_.Bump("solver.trivial_sat");
+            out.verdicts[i] = CheckStatus::kSat;
+            continue;
+        }
+        if (config_.enable_cache) {
+            auto it = cache_.find(live);
+            if (it != cache_.end()) {
+                // Status-only read: batch verdicts carry neither models
+                // nor cores, so any entry can serve.
+                stats_.Bump("solver.cache_hits");
+                obs_memo_hits_.Bump();
+                ++cache_hits;
+                out.verdicts[i] = it->second.status;
+                continue;
+            }
+        }
+        residue.push_back(Residue{i, std::move(live)});
+    }
+
+    if (!residue.empty()) {
+        EnsureIncrementalBackend();
+        stats_.Bump("solver.incremental_sat_calls");
+        // A sweep reports no cores, so minimization probes would be
+        // wasted work; the next point query re-arms the flag.
+        inc_->sat.SetMinimizeCore(false);
+        inc_->sat.SetTrailReuse(config_.enable_trail_reuse);
+
+        std::vector<ExprRef> base_live;
+        std::vector<Lit> assumptions;
+        {
+            std::vector<uint32_t> caller_index;
+            uint32_t false_index = 0;
+            // A trivially-false base would have answered every group
+            // kUnsat in the loop above; here the base canonicalizes.
+            const bool base_ok = Canonicalize(base, nullptr, &base_live,
+                                              &caller_index, &false_index);
+            ACHILLES_CHECK(base_ok);
+        }
+        bool new_guards = GuardAssertions(base_live, &assumptions);
+        std::vector<std::vector<Lit>> member_lits(residue.size());
+        std::vector<ExprRef> scratch;
+        for (size_t k = 0; k < residue.size(); ++k) {
+            scratch.clear();
+            for (ExprRef e : *groups[residue[k].index]) {
+                if (!e->IsTrue())  // IsFalse was answered above
+                    scratch.push_back(e);
+            }
+            new_guards |= GuardAssertions(scratch, &member_lits[k]);
+        }
+        SyncLemmaExchange(new_guards);
+        const int64_t rounds_before =
+            inc_->sat.stats().Get("sat.batch_rounds");
+        const std::vector<SatStatus> sat_verdicts =
+            inc_->sat.SolveBatch(assumptions, member_lits);
+        out.rounds =
+            inc_->sat.stats().Get("sat.batch_rounds") - rounds_before;
+        DrainIncrementalStats();
+
+        bool any_sat = false;
+        for (size_t k = 0; k < residue.size(); ++k) {
+            CheckStatus status = CheckStatus::kUnknown;
+            switch (sat_verdicts[k]) {
+              case SatStatus::kSat: status = CheckStatus::kSat; break;
+              case SatStatus::kUnsat: status = CheckStatus::kUnsat; break;
+              case SatStatus::kUnknown: break;
+            }
+            out.verdicts[residue[k].index] = status;
+            if (status == CheckStatus::kSat)
+                any_sat = true;
+            if (config_.enable_cache && status != CheckStatus::kUnknown) {
+                // kSat entries are model-less (upgraded in place by a
+                // later fresh-instance solve on first model demand);
+                // kUnsat entries are core-less per the batch contract.
+                cache_.emplace(residue[k].live,
+                               CacheEntry{status,
+                                          status != CheckStatus::kSat,
+                                          Model(), /*has_core=*/false,
+                                          {}});
+            }
+        }
+        if (config_.retain_models && any_sat) {
+            // The sweep's last SAT round left a full assignment
+            // standing in the persistent instance; defer extraction to
+            // the next StandingModel() read, like any incremental kSat.
+            standing_live_ = base_live;
+            for (size_t k = 0; k < residue.size(); ++k) {
+                if (out.verdicts[residue[k].index] == CheckStatus::kSat) {
+                    for (ExprRef e : *groups[residue[k].index])
+                        standing_live_.push_back(e);
+                }
+            }
+        }
+    }
+    obs_batch_rounds_.Record(out.rounds);
+    if (config_.obs.enabled()) {
+        span.AddArg("groups", static_cast<int64_t>(groups.size()));
+        span.AddArg("cache_hits", cache_hits);
+        span.AddArg("swept", static_cast<int64_t>(residue.size()));
+        span.AddArg("rounds", out.rounds);
+    }
+    return out;
+}
+
+void
+Solver::RefreshStandingModel()
+{
+    if (standing_live_.empty())
+        return;
+    if (inc_) {
+        // Every variable of the pending assertions was blasted before
+        // the kSat that deferred them, so the instance's standing
+        // assignment covers them all.
+        std::unordered_set<uint32_t> vars;
+        for (ExprRef e : standing_live_)
+            ctx_->CollectVars(e, &vars);
+        for (uint32_t id : vars)
+            standing_model_.Set(id, inc_->blaster.VarValueFromModel(id));
+        has_standing_model_ = true;
+    }
+    standing_live_.clear();
+}
+
+const Model *
+Solver::StandingModel()
+{
+    if (!config_.retain_models)
+        return nullptr;
+    RefreshStandingModel();
+    return has_standing_model_ ? &standing_model_ : nullptr;
 }
 
 }  // namespace smt

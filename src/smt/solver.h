@@ -183,6 +183,20 @@ struct SolverConfig
     /** Re-evaluate every assertion under each SAT model (cheap; catches
      *  encoder bugs -- a model that fails validation is a panic). */
     bool validate_models = true;
+    /**
+     * Keep the last satisfying assignment standing across queries and
+     * expose it through StandingModel(). The facade merges each kSat
+     * answer's variable values into one rolling Model (incremental-path
+     * answers lazily, on first StandingModel() read; fresh-path answers
+     * eagerly, since their model is already extracted). Consumers use
+     * it for concrete pre-filtering: evaluating a predicate under any
+     * total concrete assignment that satisfies it is a proof of kSat
+     * with zero solver work. Staleness is harmless -- a stale or merged
+     * model can only fail to satisfy a satisfiable predicate (lowering
+     * the hit rate), never satisfy an unsatisfiable one. Near-free when
+     * unread; flip off to pin memory on huge variable spaces.
+     */
+    bool retain_models = true;
     /** Memoize query results keyed by the assertion set. */
     bool enable_cache = true;
     /**
@@ -297,6 +311,27 @@ struct SolverConfig
 };
 
 /**
+ * Outcome of a batched satisfiability sweep (Solver::CheckSatBatch):
+ * one verdict per guard group, in the caller's group order, plus the
+ * number of SAT search rounds the sweep actually ran (the query-stream
+ * compression the batch bought: rounds <= groups answered).
+ *
+ * Batch verdicts never carry unsat cores -- a sweep-wide refutation
+ * implicates the whole pending set, not a per-group explanation -- so
+ * core-guided consumers must treat batch kUnsat answers as core-less
+ * (the has_core flag says exactly that). kUnknown keeps its
+ * conservative meaning per group: budget exhaustion mid-sweep leaves
+ * every unanswered group kUnknown, never a wrong verdict.
+ */
+struct BatchOutcome
+{
+    std::vector<CheckResult> verdicts;
+    int64_t rounds = 0;
+};
+
+class Lit;
+
+/**
  * The decision procedure facade.
  *
  * Holds state across queries: the memo cache, the incremental backend
@@ -340,6 +375,35 @@ class Solver
     virtual CheckResult CheckSatAssuming(const std::vector<ExprRef> &base,
                                          const std::vector<ExprRef> &extras,
                                          Model *model = nullptr);
+
+    /**
+     * Batched all-sat sweep: answer "is base ∧ AND(*groups[i])
+     * satisfiable?" for every group in one pass. Semantically identical
+     * to calling CheckSatAssuming(base, *groups[i]) per group; on the
+     * unbudgeted incremental path the verdicts are enumerated from a
+     * single search tree (activation-literal representatives steered by
+     * throwaway selectors, see SatSolver::SolveBatch) instead of
+     * |groups| independent calls. Budgeted or incremental-off
+     * configurations fall back to the per-group loop, where kUnknown
+     * stays conservative per group. Verdicts never carry cores (see
+     * BatchOutcome); memo-cache hits still answer individual groups
+     * before any solving, and decided verdicts are cached for later
+     * point queries.
+     */
+    virtual BatchOutcome
+    CheckSatBatch(const std::vector<ExprRef> &base,
+                  const std::vector<const std::vector<ExprRef> *> &groups);
+
+    /**
+     * The rolling satisfying assignment left standing by past kSat
+     * answers, or nullptr when none exists yet (or retain_models is
+     * off). The referenced Model is owned by the solver and valid until
+     * the next Check* call. It is a genuine concrete assignment --
+     * every value either came from a SAT model or defaults to zero --
+     * so any assertion that evaluates true under it is satisfiable;
+     * nothing follows from evaluating false.
+     */
+    const Model *StandingModel();
 
     /** Convenience overload for a single (possibly And-tree) assertion. */
     CheckResult CheckSatExpr(ExprRef e, Model *model = nullptr);
@@ -405,6 +469,28 @@ class Solver
                                  bool *has_core,
                                  std::vector<uint32_t> *core);
 
+    /** Reset-or-build the persistent incremental instance: drops it
+     *  past incremental_max_vars (flushing the standing model first --
+     *  the SAT assignment dies with the instance) and (re)creates it
+     *  with the lemma-export hook wired. */
+    void EnsureIncrementalBackend();
+    /** Guard every assertion of `live` in the incremental backend,
+     *  appending one activation literal each to `assumptions` and
+     *  maintaining the lemma-exchange anchors. Returns true when any
+     *  assertion was guarded for the first time. */
+    bool GuardAssertions(const std::vector<ExprRef> &live,
+                         std::vector<Lit> *assumptions);
+    /** Pull newly published lemmas from the clause source and install
+     *  every anchorable one (skipped entirely without a source). */
+    void SyncLemmaExchange(bool new_guards);
+    /** Fold the persistent instance's cumulative SAT counters into this
+     *  solver's stats as deltas since the last fold. */
+    void DrainIncrementalStats();
+    /** Merge a deferred incremental-path kSat assignment into the
+     *  rolling standing model. Must run before the backend that holds
+     *  the assignment is dropped; no-op when nothing is pending. */
+    void RefreshStandingModel();
+
     /** Conflict budget for the next fresh-instance solve: the stream
      *  budget's current allowance when enabled, else max_conflicts. */
     int64_t NextConflictBudget() const;
@@ -438,6 +524,16 @@ class Solver
         bool installed = false;
     };
     std::vector<FetchedLemma> fetched_lemmas_;
+    /** Rolling concrete assignment from past kSat answers (see
+     *  SolverConfig::retain_models and StandingModel()). */
+    Model standing_model_;
+    bool has_standing_model_ = false;
+    /** Assertions of the latest incremental-path kSat answer whose
+     *  variable values have not been pulled from the backend yet:
+     *  extraction walks the persistent instance's standing assignment,
+     *  so it is deferred to the first StandingModel() read instead of
+     *  taxing every query. */
+    std::vector<ExprRef> standing_live_;
     /** Stream-budget running state (see StreamBudget). */
     double stream_base_ = -1.0;
     int64_t stream_carry_ = 0;
@@ -447,8 +543,11 @@ class Solver
     obs::MetricsRegistry::Counter obs_queries_;
     obs::MetricsRegistry::Counter obs_unknowns_;
     obs::MetricsRegistry::Counter obs_memo_hits_;
+    obs::MetricsRegistry::Counter obs_batch_sweeps_;
+    obs::MetricsRegistry::Counter obs_batch_guards_;
     obs::MetricsRegistry::Distribution obs_conflicts_;
     obs::MetricsRegistry::Distribution obs_core_size_;
+    obs::MetricsRegistry::Distribution obs_batch_rounds_;
 };
 
 }  // namespace smt

@@ -1,0 +1,507 @@
+// Achilles reproduction -- tests.
+//
+// The batched Trojan-checking pipeline: the SAT core's all-sat sweep
+// (SatSolver::SolveBatch) must agree with per-group point queries and
+// degrade to kUnknown -- never a wrong verdict -- under a conflict
+// budget; the facade's CheckSatBatch must agree with CheckSatAssuming
+// and report no cores; the standing model that feeds the concrete
+// pre-filter must satisfy every asserted constraint (so a pre-filter
+// hit is a proof of kSat); and the explorer must keep every predicate
+// a sweep leaves undecided, with bitwise-identical witness sets across
+// the pre-filter/batch toggles at every worker count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/achilles.h"
+#include "proto/toy/toy_protocol.h"
+#include "smt/eval.h"
+#include "smt/expr.h"
+#include "smt/sat.h"
+#include "smt/solver.h"
+#include "support/rng.h"
+
+namespace achilles {
+namespace {
+
+using smt::BatchOutcome;
+using smt::CheckResult;
+using smt::CheckStatus;
+using smt::ExprContext;
+using smt::ExprRef;
+using smt::Lit;
+using smt::Model;
+using smt::SatSolver;
+using smt::SatStatus;
+using smt::Solver;
+using smt::SolverConfig;
+
+// ---------------------------------------------------------------- SAT
+
+/** Deterministic random 3-CNF shared by the batch and reference
+ *  solvers, plus random assumption groups over the same variables. */
+struct RandomInstance
+{
+    uint32_t num_vars = 0;
+    std::vector<std::vector<Lit>> clauses;
+    std::vector<Lit> assumptions;
+    std::vector<std::vector<Lit>> groups;
+};
+
+RandomInstance
+MakeRandomInstance(uint64_t seed)
+{
+    Rng rng(seed);
+    RandomInstance inst;
+    inst.num_vars = 8 + static_cast<uint32_t>(rng.Below(8));
+    const size_t num_clauses = 12 + rng.Below(24);
+    for (size_t c = 0; c < num_clauses; ++c) {
+        std::vector<Lit> clause;
+        for (int k = 0; k < 3; ++k)
+            clause.emplace_back(static_cast<uint32_t>(
+                                    rng.Below(inst.num_vars)),
+                                rng.Below(2) == 0);
+        inst.clauses.push_back(std::move(clause));
+    }
+    if (rng.Below(2) == 0)
+        inst.assumptions.emplace_back(
+            static_cast<uint32_t>(rng.Below(inst.num_vars)),
+            rng.Below(2) == 0);
+    const size_t num_groups = 1 + rng.Below(6);
+    for (size_t g = 0; g < num_groups; ++g) {
+        std::vector<Lit> group;
+        const size_t size = rng.Below(4);  // empty groups are legal
+        for (size_t k = 0; k < size; ++k)
+            group.emplace_back(static_cast<uint32_t>(
+                                   rng.Below(inst.num_vars)),
+                               rng.Below(2) == 0);
+        inst.groups.push_back(std::move(group));
+    }
+    return inst;
+}
+
+void
+LoadInstance(const RandomInstance &inst, SatSolver *solver)
+{
+    for (uint32_t v = 0; v < inst.num_vars; ++v)
+        solver->NewVar();
+    for (const std::vector<Lit> &clause : inst.clauses) {
+        std::vector<Lit> copy = clause;
+        if (!solver->AddClause(std::move(copy)))
+            return;  // instance unsat at level 0; both sides see it
+    }
+}
+
+TEST(SolveBatchTest, AgreesWithPerGroupPointQueriesOnRandomInstances)
+{
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+        const RandomInstance inst = MakeRandomInstance(seed);
+
+        SatSolver reference;
+        LoadInstance(inst, &reference);
+        std::vector<SatStatus> expected;
+        for (const std::vector<Lit> &group : inst.groups) {
+            std::vector<Lit> assumptions = inst.assumptions;
+            assumptions.insert(assumptions.end(), group.begin(),
+                               group.end());
+            expected.push_back(reference.Solve(assumptions));
+        }
+
+        SatSolver batch;
+        LoadInstance(inst, &batch);
+        const std::vector<SatStatus> verdicts =
+            batch.SolveBatch(inst.assumptions, inst.groups);
+
+        ASSERT_EQ(verdicts.size(), inst.groups.size()) << "seed " << seed;
+        for (size_t g = 0; g < verdicts.size(); ++g) {
+            EXPECT_EQ(verdicts[g], expected[g])
+                << "seed " << seed << " group " << g;
+            EXPECT_NE(verdicts[g], SatStatus::kUnknown)
+                << "unbudgeted sweep must be verdict-exact";
+        }
+        // The sweep is satisfiability-preserving: the solver answers
+        // the plain instance identically afterwards.
+        SatSolver plain;
+        LoadInstance(inst, &plain);
+        EXPECT_EQ(batch.Solve(inst.assumptions),
+                  plain.Solve(inst.assumptions))
+            << "seed " << seed;
+    }
+}
+
+TEST(SolveBatchTest, BudgetedSweepNeverReturnsAWrongVerdict)
+{
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+        const RandomInstance inst = MakeRandomInstance(seed);
+
+        SatSolver reference;
+        LoadInstance(inst, &reference);
+        std::vector<SatStatus> expected;
+        for (const std::vector<Lit> &group : inst.groups) {
+            std::vector<Lit> assumptions = inst.assumptions;
+            assumptions.insert(assumptions.end(), group.begin(),
+                               group.end());
+            expected.push_back(reference.Solve(assumptions));
+        }
+
+        SatSolver batch;
+        LoadInstance(inst, &batch);
+        const std::vector<SatStatus> verdicts = batch.SolveBatch(
+            inst.assumptions, inst.groups, /*max_conflicts=*/0);
+
+        ASSERT_EQ(verdicts.size(), inst.groups.size());
+        for (size_t g = 0; g < verdicts.size(); ++g) {
+            if (verdicts[g] != SatStatus::kUnknown)
+                EXPECT_EQ(verdicts[g], expected[g])
+                    << "seed " << seed << " group " << g;
+        }
+    }
+}
+
+/** Pigeonhole clauses (n+1 pigeons, n holes): UNSAT, and the proof
+ *  needs genuine search, so a zero budget cannot decide anything. */
+void
+LoadPigeonhole(uint32_t holes, SatSolver *solver,
+               std::vector<std::vector<Lit>> *groups)
+{
+    const uint32_t pigeons = holes + 1;
+    std::vector<std::vector<uint32_t>> var(pigeons);
+    for (uint32_t p = 0; p < pigeons; ++p)
+        for (uint32_t h = 0; h < holes; ++h)
+            var[p].push_back(solver->NewVar());
+    for (uint32_t p = 0; p < pigeons; ++p) {
+        std::vector<Lit> at_least_one;
+        for (uint32_t h = 0; h < holes; ++h)
+            at_least_one.emplace_back(var[p][h], false);
+        solver->AddClause(std::move(at_least_one));
+    }
+    for (uint32_t h = 0; h < holes; ++h)
+        for (uint32_t p = 0; p < pigeons; ++p)
+            for (uint32_t q = p + 1; q < pigeons; ++q)
+                solver->AddBinary(Lit(var[p][h], true),
+                                  Lit(var[q][h], true));
+    groups->push_back({Lit(var[0][0], false)});
+    groups->push_back({Lit(var[0][0], true), Lit(var[1][0], false)});
+    groups->push_back({});
+}
+
+TEST(SolveBatchTest, ExhaustedBudgetLeavesEveryGroupUndecided)
+{
+    SatSolver solver;
+    std::vector<std::vector<Lit>> groups;
+    LoadPigeonhole(4, &solver, &groups);
+    const std::vector<SatStatus> starved =
+        solver.SolveBatch({}, groups, /*max_conflicts=*/0);
+    ASSERT_EQ(starved.size(), groups.size());
+    for (const SatStatus s : starved)
+        EXPECT_EQ(s, SatStatus::kUnknown)
+            << "a starved sweep must keep every group alive";
+
+    // The same sweep with the budget lifted refutes everything.
+    const std::vector<SatStatus> full = solver.SolveBatch({}, groups);
+    for (const SatStatus s : full)
+        EXPECT_EQ(s, SatStatus::kUnsat);
+}
+
+// ------------------------------------------------------------- facade
+
+TEST(CheckSatBatchTest, AgreesWithCheckSatAssumingAndCarriesNoCores)
+{
+    ExprContext ctx;
+    ExprRef x = ctx.FreshVar("x", 8);
+    ExprRef y = ctx.FreshVar("y", 8);
+    const std::vector<ExprRef> base{
+        ctx.MakeUlt(x, ctx.MakeConst(8, 100))};
+    const std::vector<ExprRef> g_sat{ctx.MakeEq(x, ctx.MakeConst(8, 5))};
+    const std::vector<ExprRef> g_unsat{
+        ctx.MakeUge(x, ctx.MakeConst(8, 100))};
+    const std::vector<ExprRef> g_pair{
+        ctx.MakeEq(x, ctx.MakeConst(8, 7)),
+        ctx.MakeEq(y, ctx.MakeConst(8, 9))};
+    const std::vector<ExprRef> g_empty;
+    const std::vector<ExprRef> g_contradiction{
+        ctx.MakeEq(y, ctx.MakeConst(8, 1)),
+        ctx.MakeEq(y, ctx.MakeConst(8, 2))};
+    const std::vector<const std::vector<ExprRef> *> groups{
+        &g_sat, &g_unsat, &g_pair, &g_empty, &g_contradiction};
+
+    Solver batch_solver(&ctx);
+    const BatchOutcome outcome = batch_solver.CheckSatBatch(base, groups);
+    ASSERT_EQ(outcome.verdicts.size(), groups.size());
+
+    Solver point_solver(&ctx);
+    for (size_t g = 0; g < groups.size(); ++g) {
+        const CheckResult expected =
+            point_solver.CheckSatAssuming(base, *groups[g]);
+        EXPECT_EQ(outcome.verdicts[g].status, expected.status)
+            << "group " << g;
+        EXPECT_NE(outcome.verdicts[g].status, CheckStatus::kUnknown);
+        // Batch verdicts never explain themselves: core-guided
+        // consumers must not treat a sweep answer as a refutation core.
+        EXPECT_FALSE(outcome.verdicts[g].has_core) << "group " << g;
+        EXPECT_TRUE(outcome.verdicts[g].core.empty());
+    }
+    EXPECT_GE(outcome.rounds, 0);
+    EXPECT_LE(outcome.rounds,
+              static_cast<int64_t>(groups.size()))
+        << "one shared search tree must not cost more passes than "
+           "the per-guard stream";
+    EXPECT_GE(batch_solver.stats().Get("solver.batch_sweeps"), 1);
+}
+
+TEST(CheckSatBatchTest, BudgetedFacadeFallsBackConservatively)
+{
+    ExprContext ctx;
+    ExprRef x = ctx.FreshVar("x", 8);
+    const std::vector<ExprRef> base;
+    const std::vector<ExprRef> g_sat{ctx.MakeEq(x, ctx.MakeConst(8, 3))};
+    const std::vector<const std::vector<ExprRef> *> groups{&g_sat};
+
+    SolverConfig budgeted;
+    budgeted.max_conflicts = 0;
+    Solver solver(&ctx, budgeted);
+    const BatchOutcome outcome = solver.CheckSatBatch(base, groups);
+    ASSERT_EQ(outcome.verdicts.size(), 1u);
+    // A budgeted solver must not run the sweep (its verdicts could not
+    // be exact); whatever the point fallback answers, a wrong verdict
+    // is impossible and kUnknown is acceptable.
+    EXPECT_GE(solver.stats().Get("solver.batch_fallbacks"), 1);
+}
+
+// ---------------------------------------------------- standing models
+
+TEST(StandingModelTest, ModelSatisfiesEveryAssertedConstraint)
+{
+    ExprContext ctx;
+    Solver solver(&ctx);
+    ExprRef x = ctx.FreshVar("x", 8);
+    ExprRef y = ctx.FreshVar("y", 8);
+
+    const std::vector<ExprRef> first{
+        ctx.MakeUlt(x, ctx.MakeConst(8, 10)),
+        ctx.MakeEq(y, ctx.MakeConst(8, 3))};
+    ASSERT_EQ(solver.CheckSat(first), CheckResult::kSat);
+    const Model *standing = solver.StandingModel();
+    ASSERT_NE(standing, nullptr);
+    for (ExprRef e : first)
+        EXPECT_TRUE(smt::EvaluateBool(e, *standing));
+
+    // The standing model rolls forward with later satisfiable queries.
+    const std::vector<ExprRef> second{
+        ctx.MakeUgt(x, ctx.MakeConst(8, 200))};
+    ASSERT_EQ(solver.CheckSat(second), CheckResult::kSat);
+    standing = solver.StandingModel();
+    ASSERT_NE(standing, nullptr);
+    EXPECT_TRUE(smt::EvaluateBool(second[0], *standing));
+
+    // An unsatisfiable query leaves the last standing model in place.
+    const std::vector<ExprRef> contradiction{
+        ctx.MakeUlt(x, ctx.MakeConst(8, 1)),
+        ctx.MakeUgt(x, ctx.MakeConst(8, 1))};
+    ASSERT_EQ(solver.CheckSat(contradiction), CheckResult::kUnsat);
+    EXPECT_NE(solver.StandingModel(), nullptr);
+}
+
+TEST(StandingModelTest, DisabledRetentionReturnsNull)
+{
+    ExprContext ctx;
+    SolverConfig config;
+    config.retain_models = false;
+    Solver solver(&ctx, config);
+    ExprRef x = ctx.FreshVar("x", 8);
+    ASSERT_EQ(solver.CheckSat({ctx.MakeEq(x, ctx.MakeConst(8, 1))}),
+              CheckResult::kSat);
+    EXPECT_EQ(solver.StandingModel(), nullptr);
+}
+
+TEST(StandingModelTest, ConcretelyTrueAssignmentIsAProofOfSat)
+{
+    // The pre-filter's soundness argument, randomized: whenever a total
+    // concrete assignment evaluates every assertion to true, a fresh
+    // solver must answer kSat -- the assignment IS a witness, whatever
+    // query produced it. (The converse seeds the trial pool: models
+    // returned by the solver must evaluate to true.)
+    ExprContext ctx;
+    ExprRef a = ctx.FreshVar("a", 8);
+    ExprRef b = ctx.FreshVar("b", 8);
+    const std::vector<ExprRef> pool{
+        ctx.MakeUlt(a, ctx.MakeConst(8, 200)),
+        ctx.MakeUgt(a, ctx.MakeConst(8, 3)),
+        ctx.MakeEq(ctx.MakeAnd(a, ctx.MakeConst(8, 1)),
+                   ctx.MakeConst(8, 1)),
+        ctx.MakeUle(b, a),
+        ctx.MakeNe(b, ctx.MakeConst(8, 0)),
+        ctx.MakeUlt(ctx.MakeAdd(a, b), ctx.MakeConst(8, 250))};
+
+    Rng rng(0xba7c4);
+    size_t concrete_hits = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<ExprRef> assertions;
+        for (ExprRef e : pool)
+            if (rng.Below(2) == 0)
+                assertions.push_back(e);
+        Model model;
+        model.Set(a->VarId(), rng.Below(256));
+        model.Set(b->VarId(), rng.Below(256));
+        bool all_true = true;
+        for (ExprRef e : assertions)
+            all_true &= smt::EvaluateBool(e, model);
+        if (!all_true)
+            continue;
+        ++concrete_hits;
+        Solver fresh(&ctx);
+        EXPECT_EQ(fresh.CheckSat(assertions), CheckResult::kSat);
+    }
+    EXPECT_GT(concrete_hits, 0u) << "trial pool never exercised the "
+                                    "pre-filter direction";
+
+    Solver solver(&ctx);
+    Model model;
+    ASSERT_EQ(solver.CheckSat(pool, &model), CheckResult::kSat);
+    for (ExprRef e : pool)
+        EXPECT_TRUE(smt::EvaluateBool(e, model));
+}
+
+// ----------------------------------------------------------- explorer
+
+/** A solver whose batched sweep is always exhausted: every group comes
+ *  back kUnknown while point queries behave normally. */
+class UnknownBatchSolver : public Solver
+{
+  public:
+    explicit UnknownBatchSolver(ExprContext *ctx) : Solver(ctx) {}
+
+    BatchOutcome
+    CheckSatBatch(const std::vector<ExprRef> &base,
+                  const std::vector<const std::vector<ExprRef> *> &groups)
+        override
+    {
+        (void)base;
+        BatchOutcome outcome;
+        outcome.verdicts.resize(groups.size());
+        return outcome;  // all kUnknown, zero rounds
+    }
+};
+
+using WitnessKey = std::pair<std::string, std::vector<uint8_t>>;
+
+std::vector<WitnessKey>
+RunToyPipeline(Solver *solver, smt::ExprContext *ctx, size_t workers,
+               bool prefilter, bool batch)
+{
+    const symexec::Program client = toy::MakeClient();
+    const symexec::Program server = toy::MakeServer();
+
+    core::AchillesConfig config;
+    config.layout = toy::MakeLayout(/*mask_crc=*/true);
+    config.clients = {&client};
+    config.server = &server;
+    config.server_config.engine.num_workers = workers;
+    config.server_config.use_concrete_prefilter = prefilter;
+    config.server_config.use_batch_sweep = batch;
+    const core::AchillesResult result =
+        core::RunAchilles(ctx, solver, config);
+
+    std::vector<WitnessKey> witnesses;
+    for (const core::TrojanWitness &t : result.server.trojans)
+        witnesses.emplace_back(t.accept_label, t.concrete);
+    std::sort(witnesses.begin(), witnesses.end());
+    return witnesses;
+}
+
+TEST(BatchExplorerTest, UnknownSweepVerdictsKeepEveryPredicateAlive)
+{
+    // Mid-sweep exhaustion from the explorer's side: a sweep that
+    // answers kUnknown for every queued guard must drop nothing --
+    // the live set stays full and no state is pruned on its account.
+    ExprContext ctx;
+    const symexec::Program client = toy::MakeClient();
+    const symexec::Program server = toy::MakeServer();
+
+    UnknownBatchSolver solver(&ctx);
+    core::AchillesConfig config;
+    config.layout = toy::MakeLayout(/*mask_crc=*/true);
+    config.clients = {&client};
+    config.server = &server;
+    config.server_config.use_batch_sweep = true;
+    // Isolate the sweep: no static matrix and no cores, so every match
+    // verdict in the loop comes from CheckSatBatch.
+    config.server_config.use_different_from = false;
+    config.server_config.use_unsat_cores = false;
+    config.compute_different_from = false;
+    const core::AchillesResult result =
+        core::RunAchilles(&ctx, &solver, config);
+
+    EXPECT_EQ(result.server.stats.Get("explorer.predicate_drops"), 0);
+    ASSERT_FALSE(result.server.live_samples.empty());
+    for (const core::LiveSetSample &sample : result.server.live_samples)
+        EXPECT_EQ(sample.live_predicates,
+                  result.client_predicate.paths.size());
+    EXPECT_GE(result.server.stats.Get("explorer.batch_sweeps"), 1);
+}
+
+TEST(BatchExplorerTest, WitnessesIdenticalAcrossTogglesAndWorkers)
+{
+    // The determinism sweep: (prefilter, batch) off/on in all four
+    // combinations, each at 1/2/4/8 workers, must produce bitwise
+    // identical witness sets.
+    std::vector<WitnessKey> reference;
+    bool have_reference = false;
+    for (const bool prefilter : {false, true}) {
+        for (const bool batch : {false, true}) {
+            for (const size_t workers : {1, 2, 4, 8}) {
+                ExprContext ctx;
+                Solver solver(&ctx);
+                const std::vector<WitnessKey> witnesses = RunToyPipeline(
+                    &solver, &ctx, workers, prefilter, batch);
+                EXPECT_FALSE(witnesses.empty());
+                if (!have_reference) {
+                    reference = witnesses;
+                    have_reference = true;
+                } else {
+                    EXPECT_EQ(witnesses, reference)
+                        << "prefilter=" << prefilter << " batch=" << batch
+                        << " workers=" << workers;
+                }
+            }
+        }
+    }
+}
+
+TEST(BatchExplorerTest, BudgetedPipelineWithBatchTogglesIsConservative)
+{
+    // A conflict-starved solver with both toggles on must degrade the
+    // same way the serial stream does: explore at least the reference
+    // run's accepting paths and never invent a witness (whatever it
+    // does emit was model-validated by the solver itself).
+    ExprContext ctx;
+    Solver solver(&ctx);
+    const std::vector<WitnessKey> reference =
+        RunToyPipeline(&solver, &ctx, 1, false, false);
+
+    ExprContext budget_ctx;
+    SolverConfig budget_config;
+    budget_config.max_conflicts = 0;
+    Solver budget_solver(&budget_ctx, budget_config);
+    const symexec::Program client = toy::MakeClient();
+    const symexec::Program server = toy::MakeServer();
+    core::AchillesConfig config;
+    config.layout = toy::MakeLayout(/*mask_crc=*/true);
+    config.clients = {&client};
+    config.server = &server;
+    config.server_config.use_concrete_prefilter = true;
+    config.server_config.use_batch_sweep = true;
+    const core::AchillesResult result =
+        core::RunAchilles(&budget_ctx, &budget_solver, config);
+
+    EXPECT_LE(result.server.trojans.size(), reference.size());
+    ASSERT_FALSE(result.server.live_samples.empty());
+}
+
+}  // namespace
+}  // namespace achilles
