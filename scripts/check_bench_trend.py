@@ -17,6 +17,9 @@ drop in any watched higher-is-better metric:
   * fig11.prune_index_query_reduction_pct/<section>/workers=N
   * fig11.overlay_hit_rate/<section>/workers=N
   * corpus.trojan_yield[/<family>]             (bench_corpus)
+  * corpus.portfolio_speedup                   (bench_corpus --portfolio)
+  * smt.portfolio_speedup
+  * smt.portfolio_win_rate/<class>             (bench_smt --portfolio)
 
 Lower-is-better metrics invert the comparison: the gate fails on a
 >threshold relative RISE instead of a drop. Currently that is
@@ -66,6 +69,9 @@ WATCHED_PATTERNS = [
     "fig11.prefilter_hit_rate/*",
     "corpus.trojan_yield",
     "corpus.trojan_yield/*",
+    "corpus.portfolio_speedup",
+    "smt.portfolio_speedup",
+    "smt.portfolio_win_rate/*",
 ]
 # Watched metrics where a relative RISE beyond the threshold fails.
 LOWER_IS_BETTER_PATTERNS = [

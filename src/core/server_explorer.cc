@@ -533,6 +533,13 @@ ServerExplorer::TrojanQuery(
         plane.stats->Bump("explorer.trojan_core_subsumed");
         return smt::CheckResult(smt::CheckStatus::kUnsat);
     }
+    // A query that consulted the knowledge base but was not discharged
+    // is near-miss territory: similar refutations exist in the index,
+    // so it is likely UNSAT-adjacent and worth a deeper strategy. The
+    // hint only steers the portfolio classifier (solver.h); it cannot
+    // change any verdict.
+    if (cores && path_fps != nullptr && plane.prune != nullptr)
+        solver->NotePruneNearMiss();
     plane.stats->Bump("explorer.trojan_queries");
     smt::CheckResult result = solver->CheckSatAssuming(
         path_constraints, negations, model);

@@ -109,12 +109,12 @@ struct ServerExplorerConfig
      * only ever answer kSat (no assignment satisfies an unsatisfiable
      * query), so kUnsat decisions -- drops, prunes, cores -- are taken
      * by exactly the same queries as with the filter off, and witness
-     * sets are bitwise identical. Off by default: prefiltered kSat
-     * answers skip the solver calls whose cache entries and learned
-     * clauses the default configuration's ablation gates count on, so
-     * the toggle is opt-in like the other ablation axes.
+     * sets are bitwise identical. On by default (it is a pure win on
+     * every corpus protocol and witness-identical by construction);
+     * ablation grids that count solver calls or cache entries turn it
+     * off explicitly to measure the unfiltered stream.
      */
-    bool use_concrete_prefilter = false;
+    bool use_concrete_prefilter = true;
     /**
      * Batched all-sat sweep over the per-branch predicate-match stream:
      * instead of one CheckSatAssuming per undecided live predicate,

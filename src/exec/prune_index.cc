@@ -81,23 +81,38 @@ void
 PruneIndex::EvictHalf(SubsumptionStore::Shard *shard)
 {
     // ReduceDB-style halving: keep the more active half, breaking ties
-    // toward younger entries, then rebuild the bucket map.
+    // toward younger entries, then rebuild the bucket map. Entries with
+    // cross-worker hits since the last round are hot cores -- proven to
+    // transfer between workers -- and are exempt from this round
+    // unconditionally; the exemption is consumed (cross_hits reset), so
+    // a core that goes cold competes on (activity, stamp) next time.
+    // A shard where more than half the entries are hot temporarily
+    // exceeds the keep target; the next halving corrects it.
     std::vector<Entry> &entries = shard->entries;
-    std::vector<uint32_t> order(entries.size());
-    for (uint32_t i = 0; i < order.size(); ++i)
-        order[i] = i;
-    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const size_t keep = (entries.size() + 1) / 2;
+    std::vector<Entry> kept;
+    kept.reserve(keep);
+    std::vector<uint32_t> cold;
+    cold.reserve(entries.size());
+    for (uint32_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].cross_hits > 0) {
+            entries[i].cross_hits = 0;
+            hot_exemptions_.fetch_add(1, std::memory_order_relaxed);
+            kept.push_back(std::move(entries[i]));
+        } else {
+            cold.push_back(i);
+        }
+    }
+    std::sort(cold.begin(), cold.end(), [&](uint32_t a, uint32_t b) {
         if (entries[a].activity != entries[b].activity)
             return entries[a].activity > entries[b].activity;
         return entries[a].stamp > entries[b].stamp;
     });
-    const size_t keep = (entries.size() + 1) / 2;
-    std::vector<Entry> kept;
-    kept.reserve(keep);
-    for (size_t i = 0; i < keep; ++i)
-        kept.push_back(std::move(entries[order[i]]));
-    evictions_.fetch_add(static_cast<int64_t>(entries.size() - keep),
-                         std::memory_order_relaxed);
+    for (size_t i = 0; i < cold.size() && kept.size() < keep; ++i)
+        kept.push_back(std::move(entries[cold[i]]));
+    evictions_.fetch_add(
+        static_cast<int64_t>(entries.size() - kept.size()),
+        std::memory_order_relaxed);
     entries = std::move(kept);
     shard->buckets.clear();
     for (uint32_t i = 0; i < entries.size(); ++i) {
@@ -168,8 +183,10 @@ PruneIndex::Probe(SubsumptionStore *store, size_t consumer,
                 if (payload != nullptr)
                     *payload = e.payload;
                 hit_counter->fetch_add(1, std::memory_order_relaxed);
-                if (e.publisher != consumer)
+                if (e.publisher != consumer) {
+                    ++e.cross_hits;
                     cross_hits_.fetch_add(1, std::memory_order_relaxed);
+                }
                 return true;
             }
         }
@@ -342,6 +359,7 @@ PruneIndex::ExportStats(StatsRegistry *stats) const
     stats->Bump("prune.query_core_hits", Load(query_core_hits_));
     stats->Bump("prune.cross_worker_hits", Load(cross_hits_));
     stats->Bump("prune.evictions", Load(evictions_));
+    stats->Bump("prune.hot_exemptions", Load(hot_exemptions_));
     // Bumped, not Set: a run can export more than one index (the
     // ParallelEngine's shared instance plus the explorer's home one),
     // and the honest gauge is their sum -- a Set would let whichever

@@ -196,6 +196,8 @@ class PruneIndex
     int64_t overlay_probes() const { return Load(overlay_probes_); }
     int64_t cross_worker_hits() const { return Load(cross_hits_); }
     int64_t evictions() const { return Load(evictions_); }
+    /** Entries spared from a halving round by the hot-core rule. */
+    int64_t hot_exemptions() const { return Load(hot_exemptions_); }
 
     /** Export counters ("prune.cores_recorded" et al.). */
     void ExportStats(StatsRegistry *stats) const;
@@ -219,6 +221,11 @@ class PruneIndex
         uint64_t payload = 0;  ///< field token (overlay entries).
         size_t publisher = 0;
         uint32_t activity = 0;
+        /** Hits by workers other than the publisher since the last
+         *  halving: proof the entry transfers. EvictHalf exempts such
+         *  entries from one round and zeroes the counter, so an entry
+         *  gone cold competes normally the round after. */
+        uint32_t cross_hits = 0;
         uint64_t stamp = 0;
     };
 
@@ -297,6 +304,7 @@ class PruneIndex
     std::atomic<int64_t> query_core_hits_{0};
     std::atomic<int64_t> cross_hits_{0};
     std::atomic<int64_t> evictions_{0};
+    std::atomic<int64_t> hot_exemptions_{0};
 };
 
 }  // namespace exec

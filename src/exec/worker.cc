@@ -92,6 +92,8 @@ ParallelEngine::Run()
                            [prune] { return prune->cross_worker_hits(); });
         reg->RegisterGauge("prune.evictions",
                            [prune] { return prune->evictions(); });
+        reg->RegisterGauge("prune.hot_exemptions",
+                           [prune] { return prune->hot_exemptions(); });
         const WorkStealingScheduler *sched = scheduler_.get();
         reg->RegisterGauge("engine.frontier", [sched] {
             return static_cast<int64_t>(sched->queued());
@@ -219,6 +221,7 @@ ParallelEngine::Run()
         freeze("prune.cross_worker_hits",
                prune_index_->cross_worker_hits());
         freeze("prune.evictions", prune_index_->evictions());
+        freeze("prune.hot_exemptions", prune_index_->hot_exemptions());
         freeze("engine.frontier", 0);
         freeze("exec.states_stolen", scheduler_->states_stolen());
         if (clause_exchange_) {

@@ -389,10 +389,38 @@ SatSolver::PickBranchLit()
     // what it unassigns), so an empty heap means a full assignment.
     while (!heap_.empty()) {
         const uint32_t v = HeapPop();
-        if (assigns_[v] == LBool::kUndef)
-            return Lit(v, saved_phase_[v] == 0);
+        if (assigns_[v] != LBool::kUndef)
+            continue;
+        switch (params_.phase_policy) {
+        case PhasePolicy::kNegative:
+            return Lit(v, /*negated=*/true);
+        case PhasePolicy::kPositive:
+            return Lit(v, /*negated=*/false);
+        case PhasePolicy::kSaved:
+            break;
+        }
+        return Lit(v, saved_phase_[v] == 0);
     }
     return Lit::FromCode(0xffffffffu);
+}
+
+int64_t
+SatSolver::Luby(int64_t i)
+{
+    // The reluctant-doubling sequence: find the subsequence 2^k - 1
+    // containing i and recurse into its position.
+    int64_t size = 1;
+    int64_t seq = 0;
+    while (size < i + 1) {
+        size = 2 * size + 1;
+        ++seq;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) / 2;
+        --seq;
+        i = i % size;
+    }
+    return int64_t{1} << seq;
 }
 
 void
@@ -841,16 +869,21 @@ SatSolver::Search(const std::vector<Lit> &assumptions, int64_t max_conflicts,
     BacktrackTo(keep_level);
     if (learnt_cap_ <= 0) {
         learnt_cap_ = std::max<int64_t>(
-            4000, static_cast<int64_t>(clauses_.size()) / 3);
+            params_.learnt_floor,
+            static_cast<int64_t>(clauses_.size()) / params_.learnt_divisor);
     }
     if (static_cast<int64_t>(learnts_.size()) >= learnt_cap_) {
         BacktrackTo(0);  // ReduceDB runs off the root level
         ReduceDB();
-        learnt_cap_ += learnt_cap_ / 10;
+        learnt_cap_ += learnt_cap_ * params_.learnt_growth_pct / 100;
     }
 
     int64_t conflicts = 0;
-    int64_t restart_budget = 100;
+    int64_t restart_number = 0;
+    int64_t restart_budget =
+        params_.restart_schedule == RestartSchedule::kLuby
+            ? params_.restart_base * Luby(restart_number)
+            : params_.restart_base;
     int64_t conflicts_at_restart = 0;
 
     while (true) {
@@ -916,13 +949,18 @@ SatSolver::Search(const std::vector<Lit> &assumptions, int64_t max_conflicts,
             }
             if (conflicts - conflicts_at_restart >= restart_budget) {
                 conflicts_at_restart = conflicts;
+                ++restart_number;
                 restart_budget =
-                    static_cast<int64_t>(restart_budget * 1.5);
+                    params_.restart_schedule == RestartSchedule::kLuby
+                        ? params_.restart_base * Luby(restart_number)
+                        : static_cast<int64_t>(restart_budget *
+                                               params_.restart_growth);
                 stats_.Bump("sat.restarts");
                 BacktrackTo(0);
                 if (static_cast<int64_t>(learnts_.size()) >= learnt_cap_) {
                     ReduceDB();
-                    learnt_cap_ += learnt_cap_ / 10;
+                    learnt_cap_ += learnt_cap_ * params_.learnt_growth_pct /
+                                   100;
                 }
             }
             continue;

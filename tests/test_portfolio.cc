@@ -1,0 +1,413 @@
+// Achilles reproduction -- tests.
+//
+// The portfolio solver (smt/solver.h): query classification must be a
+// deterministic, context-independent function of the live assertion
+// structure and caller-supplied stream rates; every SatParams preset is
+// a complete search, so unbudgeted verdicts are strategy-independent;
+// sequential-deterministic racing on budgeted fresh-path stragglers may
+// only upgrade kUnknown to the true verdict, never drop or flip one;
+// and the end-to-end contract: witness sets are bitwise identical at
+// 1/2/4/8 workers with the portfolio on or off.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/achilles.h"
+#include "proto/fsp/fsp_protocol.h"
+#include "smt/expr.h"
+#include "smt/sat.h"
+#include "smt/solver.h"
+#include "support/rng.h"
+
+namespace achilles {
+namespace {
+
+using smt::CheckResult;
+using smt::CheckStatus;
+using smt::ExprContext;
+using smt::ExprRef;
+using smt::PhasePolicy;
+using smt::QueryClass;
+using smt::QueryFeatures;
+using smt::QueryStrategy;
+using smt::RestartSchedule;
+using smt::SatParams;
+using smt::SatSolver;
+using smt::SatStatus;
+using smt::Solver;
+using smt::SolverConfig;
+
+// ------------------------------------------------------- classification
+
+TEST(PortfolioClassifierTest, FeaturesAreDeterministicAndContextFree)
+{
+    // The same structural query built in two unrelated contexts (with
+    // different variable creation orders around it) must extract
+    // identical features: the classifier sees only term structure and
+    // the caller-supplied stream rates, never pointer values or
+    // context state.
+    const auto build = [](ExprContext *ctx) {
+        ctx->FreshVar("noise", 8);  // perturb ids across contexts
+        ExprRef x = ctx->FreshVar("x", 8);
+        ExprRef y = ctx->FreshVar("y", 8);
+        std::vector<ExprRef> live;
+        live.push_back(ctx->MakeUlt(ctx->MakeAdd(x, y),
+                                    ctx->MakeConst(8, 40)));
+        live.push_back(ctx->MakeEq(ctx->MakeMul(x, y),
+                                   ctx->MakeConst(8, 12)));
+        return live;
+    };
+    ExprContext a;
+    ExprContext b;
+    b.FreshVar("more_noise", 16);
+    const std::vector<ExprRef> live_a = build(&a);
+    const std::vector<ExprRef> live_b = build(&b);
+
+    const QueryFeatures fa =
+        Solver::ExtractFeatures(live_a, false, 0.0, 0.0);
+    const QueryFeatures fb =
+        Solver::ExtractFeatures(live_b, false, 0.0, 0.0);
+    EXPECT_EQ(fa.depth, fb.depth);
+    EXPECT_EQ(fa.live_count, fb.live_count);
+    EXPECT_EQ(Solver::Classify(fa), Solver::Classify(fb));
+
+    // Re-extraction of the same set is bit-identical (pure function).
+    const QueryFeatures fa2 =
+        Solver::ExtractFeatures(live_a, false, 0.0, 0.0);
+    EXPECT_EQ(fa.depth, fa2.depth);
+    EXPECT_EQ(fa.live_count, fa2.live_count);
+
+    // Caller-supplied stream state passes through untouched.
+    const QueryFeatures fr =
+        Solver::ExtractFeatures(live_a, true, 0.5, 123.0);
+    EXPECT_TRUE(fr.prune_near_miss);
+    EXPECT_EQ(fr.unknown_rate, 0.5);
+    EXPECT_EQ(fr.conflict_rate, 123.0);
+}
+
+TEST(PortfolioClassifierTest, BucketsMatchTheDocumentedGrid)
+{
+    QueryFeatures f;
+    f.live_count = 2;
+    f.depth = 4;
+    EXPECT_EQ(Solver::Classify(f), QueryClass::kTrivial);
+    f.live_count = 5;  // too many assertions for trivial
+    EXPECT_EQ(Solver::Classify(f), QueryClass::kShallow);
+    f.depth = 8;
+    EXPECT_EQ(Solver::Classify(f), QueryClass::kShallow);
+    f.depth = 9;
+    EXPECT_EQ(Solver::Classify(f), QueryClass::kDeep);
+
+    // A PruneIndex near-miss promotes one class harder -- but never
+    // into the racing class, which is reserved for burning streams.
+    f.depth = 4;
+    f.live_count = 1;
+    f.prune_near_miss = true;
+    EXPECT_EQ(Solver::Classify(f), QueryClass::kShallow);
+    f.depth = 8;
+    EXPECT_EQ(Solver::Classify(f), QueryClass::kDeep);
+    f.depth = 32;
+    EXPECT_EQ(Solver::Classify(f), QueryClass::kDeep);
+
+    // A stream past the kUnknown threshold reroutes everything.
+    f.prune_near_miss = false;
+    f.depth = 1;
+    f.unknown_rate = 0.3;
+    EXPECT_EQ(Solver::Classify(f), QueryClass::kStraggler);
+
+    // Only the straggler strategy races; its first arm keeps the base
+    // parameters so unbudgeted behavior matches the non-portfolio path.
+    const SatParams base;
+    const QueryStrategy straggler =
+        Solver::StrategyFor(QueryClass::kStraggler, base);
+    EXPECT_TRUE(straggler.race);
+    EXPECT_EQ(straggler.sat.restart_schedule, base.restart_schedule);
+    EXPECT_NE(straggler.race_sat.phase_policy, base.phase_policy);
+    for (QueryClass c : {QueryClass::kTrivial, QueryClass::kShallow,
+                         QueryClass::kDeep}) {
+        EXPECT_FALSE(Solver::StrategyFor(c, base).race);
+    }
+}
+
+TEST(PortfolioClassifierTest, DepthSaturatesOnHugeTerms)
+{
+    ExprContext ctx;
+    ExprRef chain = ctx.FreshVar("x", 8);
+    for (int i = 0; i < 100; ++i)
+        chain = ctx.MakeAdd(chain, ctx.MakeConst(8, 1));
+    const QueryFeatures f = Solver::ExtractFeatures(
+        {ctx.MakeEq(chain, ctx.MakeConst(8, 0))}, false, 0.0, 0.0);
+    EXPECT_EQ(f.depth, QueryFeatures::kDepthSaturation);
+
+    // A wide flat conjunction saturates via the visit cap instead.
+    std::vector<ExprRef> wide;
+    for (int i = 0; i < 400; ++i) {
+        wide.push_back(ctx.MakeUlt(ctx.FreshVar("w", 8),
+                                   ctx.MakeConst(8, 200)));
+    }
+    const QueryFeatures wf =
+        Solver::ExtractFeatures(wide, false, 0.0, 0.0);
+    EXPECT_EQ(wf.depth, QueryFeatures::kDepthSaturation);
+}
+
+// ------------------------------------------------ SatParams completeness
+
+TEST(SatParamsTest, LubySequenceIsReluctantDoubling)
+{
+    const int64_t expected[] = {1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2,
+                                4, 8};
+    for (size_t i = 0; i < sizeof(expected) / sizeof(expected[0]); ++i)
+        EXPECT_EQ(SatSolver::Luby(static_cast<int64_t>(i)), expected[i])
+            << "index " << i;
+}
+
+/** Deterministic random 3-CNF (the test_batch_trojan idiom). */
+struct RandomCnf
+{
+    uint32_t num_vars = 0;
+    std::vector<std::vector<smt::Lit>> clauses;
+    std::vector<smt::Lit> assumptions;
+};
+
+RandomCnf
+MakeRandomCnf(uint64_t seed)
+{
+    Rng rng(seed);
+    RandomCnf inst;
+    inst.num_vars = 8 + static_cast<uint32_t>(rng.Below(8));
+    const size_t num_clauses = 16 + rng.Below(32);
+    for (size_t c = 0; c < num_clauses; ++c) {
+        std::vector<smt::Lit> clause;
+        for (int k = 0; k < 3; ++k)
+            clause.emplace_back(
+                static_cast<uint32_t>(rng.Below(inst.num_vars)),
+                rng.Below(2) == 0);
+        inst.clauses.push_back(std::move(clause));
+    }
+    if (rng.Below(2) == 0)
+        inst.assumptions.emplace_back(
+            static_cast<uint32_t>(rng.Below(inst.num_vars)),
+            rng.Below(2) == 0);
+    return inst;
+}
+
+SatStatus
+SolveUnder(const RandomCnf &inst, const SatParams &params)
+{
+    SatSolver solver;
+    solver.SetParams(params);
+    for (uint32_t v = 0; v < inst.num_vars; ++v)
+        solver.NewVar();
+    for (const std::vector<smt::Lit> &clause : inst.clauses) {
+        std::vector<smt::Lit> copy = clause;
+        if (!solver.AddClause(std::move(copy)))
+            return SatStatus::kUnsat;
+    }
+    return solver.Solve(inst.assumptions);
+}
+
+TEST(SatParamsTest, PresetVerdictsAgreeUnbudgeted)
+{
+    // Every preset is a complete search: restart schedule, phase policy
+    // and decay rates steer the path, never the verdict. This is the
+    // property the portfolio's witness-identity argument rests on.
+    SatParams luby;
+    luby.restart_schedule = RestartSchedule::kLuby;
+    luby.restart_base = 16;
+    SatParams negative;
+    negative.phase_policy = PhasePolicy::kNegative;
+    negative.var_decay = 0.90;
+    SatParams positive;
+    positive.phase_policy = PhasePolicy::kPositive;
+    positive.clause_decay = 0.99;
+    positive.learnt_floor = 16;
+    positive.learnt_divisor = 8;
+
+    for (uint64_t seed = 1; seed <= 60; ++seed) {
+        const RandomCnf inst = MakeRandomCnf(seed);
+        const SatStatus expected = SolveUnder(inst, SatParams{});
+        EXPECT_NE(expected, SatStatus::kUnknown);
+        for (const SatParams &params : {luby, negative, positive}) {
+            EXPECT_EQ(SolveUnder(inst, params), expected)
+                << "seed " << seed;
+        }
+    }
+}
+
+// ---------------------------------------------- facade-level portfolio
+
+/** A mixed-difficulty random query stream over shared byte variables:
+ *  cheap comparisons, deep arithmetic chains, and multiplicative
+ *  constraints that force real SAT search. */
+std::vector<std::vector<ExprRef>>
+MakeQueryStream(ExprContext *ctx, uint64_t seed, size_t count)
+{
+    Rng rng(seed);
+    std::vector<ExprRef> vars;
+    for (int i = 0; i < 6; ++i)
+        vars.push_back(ctx->FreshVar("b", 8));
+    std::vector<std::vector<ExprRef>> stream;
+    for (size_t q = 0; q < count; ++q) {
+        std::vector<ExprRef> query;
+        const size_t terms = 1 + rng.Below(4);
+        for (size_t t = 0; t < terms; ++t) {
+            ExprRef a = vars[rng.Below(vars.size())];
+            ExprRef b = vars[rng.Below(vars.size())];
+            switch (rng.Below(4)) {
+              case 0:
+                query.push_back(ctx->MakeUlt(
+                    a, ctx->MakeConst(8, 1 + rng.Below(255))));
+                break;
+              case 1:
+                query.push_back(ctx->MakeEq(
+                    ctx->MakeMul(a, b),
+                    ctx->MakeConst(8, rng.Below(256))));
+                break;
+              case 2: {
+                ExprRef chain = a;
+                for (int i = 0; i < 12; ++i)
+                    chain = ctx->MakeAdd(ctx->MakeMul(chain, b),
+                                         ctx->MakeConst(8, rng.Below(7)));
+                query.push_back(ctx->MakeUge(
+                    chain, ctx->MakeConst(8, rng.Below(256))));
+                break;
+              }
+              default:
+                query.push_back(ctx->MakeNe(
+                    ctx->MakeXor(a, b), ctx->MakeConst(8, rng.Below(256))));
+                break;
+            }
+        }
+        stream.push_back(std::move(query));
+    }
+    return stream;
+}
+
+TEST(PortfolioSolverTest, UnbudgetedStreamVerdictsIdenticalOnAndOff)
+{
+    ExprContext ctx;
+    const std::vector<std::vector<ExprRef>> stream =
+        MakeQueryStream(&ctx, 7, 60);
+
+    SolverConfig off_config;
+    SolverConfig on_config;
+    on_config.portfolio = true;
+    Solver off(&ctx, off_config);
+    Solver on(&ctx, on_config);
+
+    int64_t dispatched = 0;
+    for (const std::vector<ExprRef> &query : stream) {
+        const CheckResult a = off.CheckSat(query);
+        const CheckResult b = on.CheckSat(query);
+        ASSERT_EQ(a.status, b.status);
+        EXPECT_NE(b.status, CheckStatus::kUnknown);
+    }
+    for (const char *key :
+         {"solver.class_queries/trivial", "solver.class_queries/shallow",
+          "solver.class_queries/deep",
+          "solver.class_queries/straggler"}) {
+        dispatched += on.stats().Get(key);
+    }
+    EXPECT_GT(dispatched, 0) << "portfolio solver never classified";
+    EXPECT_EQ(off.stats().Get("solver.class_queries/trivial"), 0);
+}
+
+TEST(PortfolioSolverTest, BudgetedRacingNeverDropsVerdicts)
+{
+    // Under a starved stream budget the portfolio's racing arm may only
+    // upgrade kUnknown answers to the verdict the query truly has --
+    // never disagree with a decided baseline verdict (kUnknown
+    // conservatism survives racing).
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        ExprContext ctx;
+        const std::vector<std::vector<ExprRef>> stream =
+            MakeQueryStream(&ctx, seed, 40);
+
+        SolverConfig off_config;
+        off_config.stream_budget.base = 2;
+        off_config.stream_budget.decay = 1.0;
+        off_config.stream_budget.floor = 0;
+        off_config.stream_budget.carry = 0.0;
+        SolverConfig on_config = off_config;
+        on_config.portfolio = true;
+        Solver off(&ctx, off_config);
+        Solver on(&ctx, on_config);
+
+        int64_t unknowns_off = 0;
+        int64_t unknowns_on = 0;
+        for (const std::vector<ExprRef> &query : stream) {
+            const CheckResult a = off.CheckSat(query);
+            const CheckResult b = on.CheckSat(query);
+            if (a.status == CheckStatus::kUnknown)
+                ++unknowns_off;
+            if (b.status == CheckStatus::kUnknown)
+                ++unknowns_on;
+            EXPECT_TRUE(b.status == a.status ||
+                        a.status == CheckStatus::kUnknown)
+                << "seed " << seed
+                << ": racing flipped a decided verdict";
+        }
+        EXPECT_LE(unknowns_on, unknowns_off) << "seed " << seed;
+    }
+}
+
+// ------------------------------------------------------- end to end
+
+using WitnessSummary =
+    std::tuple<std::string, std::vector<uint8_t>, uint64_t>;
+
+std::vector<WitnessSummary>
+RunFspPipeline(bool portfolio, size_t workers)
+{
+    const std::vector<symexec::Program> fsp_clients =
+        fsp::MakeAllClients();
+    std::vector<const symexec::Program *> clients;
+    for (size_t i = 0; i < 2; ++i)
+        clients.push_back(&fsp_clients[i]);
+    const symexec::Program server = fsp::MakeServer();
+
+    smt::ExprContext ctx;
+    SolverConfig solver_config;
+    solver_config.portfolio = portfolio;
+    smt::Solver solver(&ctx, solver_config);
+    core::AchillesConfig config;
+    config.layout = fsp::MakeLayout();
+    config.clients = clients;
+    config.server = &server;
+    config.server_config.engine.num_workers = workers;
+    const core::AchillesResult result =
+        core::RunAchilles(&ctx, &solver, config);
+
+    std::vector<WitnessSummary> witnesses;
+    core::CanonicalHasher hasher(&ctx);
+    for (const core::TrojanWitness &t : result.server.trojans) {
+        witnesses.emplace_back(t.accept_label, t.concrete,
+                               hasher.HashExprs(t.definition));
+    }
+    std::sort(witnesses.begin(), witnesses.end());
+    return witnesses;
+}
+
+TEST(PortfolioPipelineTest, WitnessesIdenticalAcrossWorkersOnAndOff)
+{
+    // The acceptance gate: bitwise-identical witness sets at every
+    // worker count with the portfolio on or off. Model-producing
+    // queries bypass the dispatcher and unbudgeted verdicts are
+    // strategy-independent, so only query *counts* may differ.
+    const std::vector<WitnessSummary> baseline =
+        RunFspPipeline(false, 1);
+    ASSERT_FALSE(baseline.empty());
+    for (size_t workers : {1, 2, 4, 8}) {
+        EXPECT_EQ(RunFspPipeline(false, workers), baseline)
+            << "portfolio-off diverged at " << workers << " workers";
+        EXPECT_EQ(RunFspPipeline(true, workers), baseline)
+            << "portfolio-on diverged at " << workers << " workers";
+    }
+}
+
+}  // namespace
+}  // namespace achilles

@@ -170,6 +170,48 @@ TEST(PruneIndexTest, ActiveEntriesSurviveEviction)
                                    PruneFpVec{}));
 }
 
+TEST(PruneIndexTest, CrossWorkerHitEntrySurvivesHalvingRound)
+{
+    PruneIndexConfig config;
+    config.shards = 1;
+    config.core_cap = 8;
+    PruneIndex index(config);
+
+    // Oldest entry in the shard, hit once by another worker: a hot
+    // core, proven to transfer.
+    index.RecordCore(/*publisher=*/0, PruneFpVec{{1000, 1}},
+                     PruneFpVec{});
+    EXPECT_TRUE(index.SubsumesCore(/*consumer=*/1, PruneFpVec{{1000, 1}},
+                                   PruneFpVec{}));
+    EXPECT_EQ(index.cross_worker_hits(), 1);
+
+    // Pin the shard at capacity with cold entries of strictly higher
+    // activity (re-discovered twice each): on plain (activity, stamp)
+    // order the hot entry -- lowest activity, oldest stamp -- would be
+    // the first one halved away.
+    for (uint64_t i = 0; i < 8; ++i) {
+        index.RecordCore(0, PruneFpVec{{i, 2}}, PruneFpVec{});
+        index.RecordCore(0, PruneFpVec{{i, 2}}, PruneFpVec{});
+        index.RecordCore(0, PruneFpVec{{i, 2}}, PruneFpVec{});
+    }
+    EXPECT_GT(index.evictions(), 0);
+    EXPECT_GT(index.hot_exemptions(), 0);
+    // The cross-worker-hit entry survived the round; cold entries with
+    // more activity were evicted in its stead.
+    EXPECT_TRUE(index.SubsumesCore(0, PruneFpVec{{1000, 1}},
+                                   PruneFpVec{}));
+
+    // The exemption is consumed: with no further cross-worker hits the
+    // next halving evicts the entry on plain (activity, stamp) order.
+    for (uint64_t i = 100; i < 110; ++i) {
+        index.RecordCore(0, PruneFpVec{{i, 2}}, PruneFpVec{});
+        index.RecordCore(0, PruneFpVec{{i, 2}}, PruneFpVec{});
+        index.RecordCore(0, PruneFpVec{{i, 2}}, PruneFpVec{});
+    }
+    EXPECT_FALSE(index.SubsumesCore(0, PruneFpVec{{1000, 1}},
+                                    PruneFpVec{}));
+}
+
 // ------------------------------------------------- store 2: the overlay
 
 TEST(PruneIndexTest, OverlayRoundTripsFieldToken)
