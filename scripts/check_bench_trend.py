@@ -20,6 +20,9 @@ drop in any watched higher-is-better metric:
   * corpus.portfolio_speedup                   (bench_corpus --portfolio)
   * smt.portfolio_speedup
   * smt.portfolio_win_rate/<class>             (bench_smt --portfolio)
+  * warmstart.speedup                          (bench_warmstart)
+  * warmstart.query_reduction_pct
+  * warmstart.corpus_query_reduction_pct
 
 Lower-is-better metrics invert the comparison: the gate fails on a
 >threshold relative RISE instead of a drop. Currently that is
@@ -72,6 +75,9 @@ WATCHED_PATTERNS = [
     "corpus.portfolio_speedup",
     "smt.portfolio_speedup",
     "smt.portfolio_win_rate/*",
+    "warmstart.speedup",
+    "warmstart.query_reduction_pct",
+    "warmstart.corpus_query_reduction_pct",
 ]
 # Watched metrics where a relative RISE beyond the threshold fails.
 LOWER_IS_BETTER_PATTERNS = [

@@ -272,6 +272,57 @@ class PortfolioMetricsTest(unittest.TestCase):
         self.assertIn("one-sided", out)
 
 
+class WarmstartMetricsTest(unittest.TestCase):
+    def test_query_reduction_drop_fails(self):
+        code, out = run_gate(
+            current=[{"metric": "warmstart.query_reduction_pct",
+                      "value": 2.0}],
+            baseline=[{"metric": "warmstart.query_reduction_pct",
+                       "value": 8.0}])
+        self.assertEqual(code, 1, out)
+        self.assertIn("warmstart.query_reduction_pct", out)
+
+    def test_speedup_drop_fails(self):
+        code, out = run_gate(
+            current=[{"metric": "warmstart.speedup", "value": 0.6}],
+            baseline=[{"metric": "warmstart.speedup", "value": 1.0}])
+        self.assertEqual(code, 1, out)
+        self.assertIn("warmstart.speedup", out)
+
+    def test_corpus_reduction_drop_fails(self):
+        code, out = run_gate(
+            current=[{"metric": "warmstart.corpus_query_reduction_pct",
+                      "value": 5.0}],
+            baseline=[{"metric": "warmstart.corpus_query_reduction_pct",
+                       "value": 28.0}])
+        self.assertEqual(code, 1, out)
+
+    def test_per_worker_warmstart_timings_are_not_watched(self):
+        # The per-worker speedup cells exist for the bench's own tables;
+        # wall-clock at a fixed worker count is scheduler-dominated and
+        # must not be gated -- only the headline metrics are.
+        code, out = run_gate(
+            current=[{"metric": "warmstart.speedup/fsp/workers=8",
+                      "value": 0.5}],
+            baseline=[{"metric": "warmstart.speedup/fsp/workers=8",
+                       "value": 1.2}])
+        self.assertEqual(code, 0, out)
+
+    def test_warmstart_metrics_absent_from_baseline_are_warn_only(self):
+        # A baseline artifact that predates bench_warmstart must not
+        # fail the gate: the comparison is one-sided.
+        code, out = run_gate(
+            current=[
+                {"metric": "warmstart.speedup", "value": 1.0},
+                {"metric": "warmstart.query_reduction_pct", "value": 8.0},
+                {"metric": "warmstart.corpus_query_reduction_pct",
+                 "value": 28.0}],
+            baseline=[{"metric": "smt.incremental_speedup",
+                       "value": 10.0}])
+        self.assertEqual(code, 0, out)
+        self.assertIn("one-sided", out)
+
+
 class CeilingTest(unittest.TestCase):
     def test_overhead_within_ceiling_passes(self):
         code, out = run_gate(

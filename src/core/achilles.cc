@@ -23,6 +23,10 @@ RunAchilles(smt::ExprContext *ctx, smt::Solver *solver,
     ServerExplorerConfig server_config = config.server_config;
     if (!server_config.engine.obs.enabled())
         server_config.engine.obs = config.obs;
+    if (server_config.knowledge_in == nullptr)
+        server_config.knowledge_in = config.knowledge_in;
+    if (server_config.knowledge_out == nullptr)
+        server_config.knowledge_out = config.knowledge_out;
 
     AchillesResult result;
     Timer timer;

@@ -48,6 +48,16 @@ struct AchillesConfig
      * same registry/tracer there.
      */
     obs::ObsHandle obs;
+    /**
+     * Warm-start knowledge persistence (src/persist/snapshot.h):
+     * `knowledge_in` (if set) is restored into the server-exploration
+     * knowledge stores before the exploration starts, and
+     * `knowledge_out` (if set) receives a capture of those stores when
+     * it finishes. Both forward into ServerExplorerConfig; explicit
+     * server_config pointers take precedence.
+     */
+    const persist::KnowledgeSnapshot *knowledge_in = nullptr;
+    persist::KnowledgeSnapshot *knowledge_out = nullptr;
 };
 
 /** Wall-clock seconds per pipeline phase (paper Section 6.2 breakdown). */

@@ -151,8 +151,10 @@ DifferentFromMatrix::Compute(const std::vector<ClientPathPredicate> &preds,
 uint64_t
 DifferentFromMatrix::FieldToken(const std::string &field)
 {
-    // FNV-1a; only needs to be stable within one run (overlay entries
-    // and their readers share the matrix that computed the token).
+    // FNV-1a over the field name alone: stable across runs and builds,
+    // which warm-start persistence relies on -- overlay entries carry
+    // tokens in snapshots, and a later run's matrix must resolve them
+    // to the same fields.
     uint64_t h = 0xcbf29ce484222325ull;
     for (char c : field)
         h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ull;
@@ -167,6 +169,10 @@ DifferentFromMatrix::OverlaySubsumed(exec::PruneIndex *overlay,
                                      std::string *field) const
 {
     if (overlay == nullptr)
+        return false;
+    // No independent fields means no token could ever resolve below;
+    // skip the index probe (and its fingerprint hashing) outright.
+    if (field_by_token_.empty())
         return false;
     uint64_t token = 0;
     if (!overlay->OverlaySubsumes(consumer, path_set, match_set,

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "exec/worker.h"
+#include "persist/snapshot.h"
 #include "smt/eval.h"
 
 namespace achilles {
@@ -844,6 +845,27 @@ ServerExplorer::RunParallel()
     prune_config.overlay_cap = config_.prune_overlay_cap;
     engine.SetPruneIndexConfig(prune_config);
     engine.SetIncomingMessage(message_);
+    // Warm-start wiring: the persist layer is injected from above
+    // (exec must not depend on it). Restore runs single-threaded before
+    // any worker starts; capture runs after every worker has joined.
+    exec::ParallelEngine::KnowledgeHook restore;
+    if (config_.knowledge_in != nullptr) {
+        const persist::KnowledgeSnapshot *in = config_.knowledge_in;
+        restore = [in](exec::PruneIndex *prune, exec::QueryCache *cache,
+                       exec::ClauseExchange *exchange) {
+            persist::RestoreKnowledge(*in, prune, cache, exchange);
+        };
+    }
+    exec::ParallelEngine::KnowledgeHook capture;
+    if (config_.knowledge_out != nullptr) {
+        persist::KnowledgeSnapshot *out = config_.knowledge_out;
+        capture = [out](exec::PruneIndex *prune, exec::QueryCache *cache,
+                        exec::ClauseExchange *exchange) {
+            persist::CaptureKnowledge(prune, cache, exchange, out);
+        };
+    }
+    if (restore || capture)
+        engine.SetKnowledgeHooks(std::move(restore), std::move(capture));
     WorkerFactory factory(this);
     const bool incremental = config_.mode == SearchMode::kIncremental;
     if (incremental)
@@ -888,6 +910,18 @@ ServerAnalysis
 ServerExplorer::Run()
 {
     timer_.Reset();
+    // The home index serves serial runs and the a-posteriori
+    // differencing pass; parallel incremental runs consult the
+    // ParallelEngine's stores instead (restored via RunParallel's
+    // hooks), so warming the home index there would only duplicate
+    // capture output.
+    const bool home_kb =
+        home_prune_ != nullptr && (config_.engine.num_workers <= 1 ||
+                                   config_.mode == SearchMode::kAPosteriori);
+    if (home_kb && config_.knowledge_in != nullptr) {
+        persist::RestoreKnowledge(*config_.knowledge_in, home_prune_.get(),
+                                  nullptr, nullptr);
+    }
     std::vector<symexec::PathResult> paths;
     if (config_.engine.num_workers > 1) {
         paths = RunParallel();
@@ -970,6 +1004,10 @@ ServerExplorer::Run()
         }
     }
 
+    if (home_kb && config_.knowledge_out != nullptr) {
+        persist::CaptureKnowledge(home_prune_.get(), nullptr, nullptr,
+                                  config_.knowledge_out);
+    }
     if (home_prune_ != nullptr)
         home_prune_->ExportStats(&analysis_.stats);
     analysis_.seconds = timer_.Seconds();

@@ -35,6 +35,11 @@
 #include "symexec/engine.h"
 
 namespace achilles {
+
+namespace persist {
+struct KnowledgeSnapshot;
+}  // namespace persist
+
 namespace core {
 
 /** How Trojan messages are computed relative to the exploration. */
@@ -134,6 +139,18 @@ struct ServerExplorerConfig
      * unanswered predicate alive.
      */
     bool use_batch_sweep = false;
+    /**
+     * Warm-start knowledge to import before exploring (null = cold
+     * start). Serial runs restore into the home PruneIndex; parallel
+     * runs restore into the ParallelEngine's shared stores before any
+     * worker thread starts. Restored facts only ever skip queries whose
+     * answers they already are, so witness sets are bitwise identical
+     * to a cold run's at any worker count.
+     */
+    const persist::KnowledgeSnapshot *knowledge_in = nullptr;
+    /** When set, the run's knowledge stores are captured (appended)
+     *  here after exploration finishes. */
+    persist::KnowledgeSnapshot *knowledge_out = nullptr;
 };
 
 /**

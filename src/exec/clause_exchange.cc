@@ -81,6 +81,24 @@ ClauseExchange::Fetch(size_t consumer, Cursor *cursor,
     return appended;
 }
 
+void
+ClauseExchange::Export(std::vector<Lemma> *out) const
+{
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (const Entry &entry : shard->log)
+            out->push_back(entry.lemma);
+    }
+}
+
+size_t
+ClauseExchange::Import(const std::vector<Lemma> &lemmas)
+{
+    for (const Lemma &lemma : lemmas)
+        Publish(kImportedPublisher, lemma);
+    return lemmas.size();
+}
+
 size_t
 ClauseExchange::size() const
 {

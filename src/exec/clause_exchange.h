@@ -81,6 +81,23 @@ class ClauseExchange
      *  than `consumer`; advances the cursor. Returns the count. */
     size_t Fetch(size_t consumer, Cursor *cursor, std::vector<Lemma> *out);
 
+    // -- Snapshot export / import (src/persist) -----------------------
+
+    /**
+     * Publisher id for lemmas restored from a snapshot. Never a real
+     * worker id, so every worker's fetch hands imported lemmas out
+     * (fetches only skip the consumer's own publications).
+     */
+    static constexpr size_t kImportedPublisher =
+        static_cast<size_t>(-1);
+
+    /** Collect every pooled lemma (the live ring windows). */
+    void Export(std::vector<Lemma> *out) const;
+
+    /** Publish snapshot lemmas under kImportedPublisher (normal dedup
+     *  and ring eviction apply); returns the count offered. */
+    size_t Import(const std::vector<Lemma> &lemmas);
+
     /** Distinct lemmas currently pooled. */
     size_t size() const;
 

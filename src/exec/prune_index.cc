@@ -3,6 +3,7 @@
 #include "exec/prune_index.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace achilles {
 namespace exec {
@@ -11,8 +12,8 @@ PruneIndex::PruneIndex(PruneIndexConfig config) : config_(config)
 {
     if (config_.shards == 0)
         config_.shards = 1;
-    InitStore(&cores_, config_.core_cap);
-    InitStore(&overlay_, config_.overlay_cap);
+    InitStore(&cores_, config_.core_cap, config_.core_policy);
+    InitStore(&overlay_, config_.overlay_cap, config_.overlay_policy);
     size_t query_shards = config_.shards;
     if (config_.query_core_cap != 0 && config_.query_core_cap < query_shards)
         query_shards = config_.query_core_cap;
@@ -25,7 +26,8 @@ PruneIndex::PruneIndex(PruneIndexConfig config) : config_(config)
 }
 
 void
-PruneIndex::InitStore(SubsumptionStore *store, size_t cap) const
+PruneIndex::InitStore(SubsumptionStore *store, size_t cap,
+                      const PruneStorePolicy &policy) const
 {
     // A cap below the shard count would overshoot with one entry per
     // shard; shrink the stripe count instead so the documented bound
@@ -38,7 +40,27 @@ PruneIndex::InitStore(SubsumptionStore *store, size_t cap) const
         store->shards.push_back(
             std::make_unique<SubsumptionStore::Shard>());
     store->per_shard_cap = cap == 0 ? 0 : cap / shards;
+    store->policy = policy;
 }
+
+namespace {
+
+/** Entries a halving round keeps: ceil(n * keep_fraction), clamped to
+ *  [0, n]. At the default 0.5 this is exactly the historical
+ *  (n + 1) / 2 "keep the upper half" rule (n * 0.5 is exact in a
+ *  double for any shard-sized n). */
+size_t
+KeepTarget(size_t n, double keep_fraction)
+{
+    if (keep_fraction <= 0.0)
+        return 0;
+    if (keep_fraction >= 1.0)
+        return n;
+    const double want = std::ceil(static_cast<double>(n) * keep_fraction);
+    return std::min(n, static_cast<size_t>(want));
+}
+
+}  // namespace
 
 bool
 PruneIndex::Fingerprint(const std::vector<smt::ExprRef> &exprs,
@@ -78,24 +100,27 @@ PruneIndex::ShardFor(SubsumptionStore &store, const PruneFp &key) const
 }
 
 void
-PruneIndex::EvictHalf(SubsumptionStore::Shard *shard)
+PruneIndex::EvictHalf(SubsumptionStore *store,
+                      SubsumptionStore::Shard *shard)
 {
-    // ReduceDB-style halving: keep the more active half, breaking ties
-    // toward younger entries, then rebuild the bucket map. Entries with
-    // cross-worker hits since the last round are hot cores -- proven to
-    // transfer between workers -- and are exempt from this round
-    // unconditionally; the exemption is consumed (cross_hits reset), so
-    // a core that goes cold competes on (activity, stamp) next time.
-    // A shard where more than half the entries are hot temporarily
-    // exceeds the keep target; the next halving corrects it.
+    // ReduceDB-style halving: keep the policy's fraction of the more
+    // active entries, breaking ties toward younger ones, then rebuild
+    // the bucket map. Entries with cross-worker hits since the last
+    // round are hot cores -- proven to transfer between workers -- and
+    // are exempt from this round unconditionally (when the store policy
+    // keeps the exemption on); the exemption is consumed (cross_hits
+    // reset), so a core that goes cold competes on (activity, stamp)
+    // next time. A shard where more than the keep target's entries are
+    // hot temporarily exceeds it; the next halving corrects that.
     std::vector<Entry> &entries = shard->entries;
-    const size_t keep = (entries.size() + 1) / 2;
+    const size_t keep =
+        KeepTarget(entries.size(), store->policy.keep_fraction);
     std::vector<Entry> kept;
     kept.reserve(keep);
     std::vector<uint32_t> cold;
     cold.reserve(entries.size());
     for (uint32_t i = 0; i < entries.size(); ++i) {
-        if (entries[i].cross_hits > 0) {
+        if (store->policy.hot_exemption && entries[i].cross_hits > 0) {
             entries[i].cross_hits = 0;
             hot_exemptions_.fetch_add(1, std::memory_order_relaxed);
             kept.push_back(std::move(entries[i]));
@@ -113,6 +138,8 @@ PruneIndex::EvictHalf(SubsumptionStore::Shard *shard)
     evictions_.fetch_add(
         static_cast<int64_t>(entries.size() - kept.size()),
         std::memory_order_relaxed);
+    store->live.fetch_sub(entries.size() - kept.size(),
+                          std::memory_order_relaxed);
     entries = std::move(kept);
     shard->buckets.clear();
     for (uint32_t i = 0; i < entries.size(); ++i) {
@@ -144,7 +171,7 @@ PruneIndex::Record(SubsumptionStore *store, size_t publisher,
     }
     if (store->per_shard_cap != 0 &&
         shard.entries.size() >= store->per_shard_cap) {
-        EvictHalf(&shard);
+        EvictHalf(store, &shard);
     }
     Entry entry;
     entry.primary = primary;
@@ -155,6 +182,7 @@ PruneIndex::Record(SubsumptionStore *store, size_t publisher,
     shard.buckets[key].push_back(
         static_cast<uint32_t>(shard.entries.size()));
     shard.entries.push_back(std::move(entry));
+    store->live.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool
@@ -233,6 +261,15 @@ PruneIndex::OverlaySubsumes(size_t consumer, const PruneFpVec &path_set,
                             uint64_t *field_token)
 {
     overlay_probes_.fetch_add(1, std::memory_order_relaxed);
+    // The overlay is consulted on every match query but only ever
+    // populated when a single-independent-field core is found; on
+    // protocols where that never happens every probe used to hash the
+    // query fingerprints and take a stripe lock just to scan nothing.
+    // One relaxed load answers the common empty case instead (a racing
+    // insert missed here would at worst have been a hit; missing it is
+    // indistinguishable from probing before the insert).
+    if (overlay_.live.load(std::memory_order_relaxed) == 0)
+        return false;
     return Probe(&overlay_, consumer, path_set, match_set, field_token,
                  &overlay_hits_);
 }
@@ -251,9 +288,9 @@ PruneIndex::ChainHash(const PruneFpVec &fps)
     return h;
 }
 
-void
-PruneIndex::RecordQueryCore(const PruneFpVec &query_fps,
-                            const PruneFpVec &core_fps)
+bool
+PruneIndex::PutQueryCore(const PruneFpVec &query_fps,
+                         const PruneFpVec &core_fps)
 {
     const uint64_t key = ChainHash(query_fps);
     QueryCoreShard &shard =
@@ -262,8 +299,8 @@ PruneIndex::RecordQueryCore(const PruneFpVec &query_fps,
     if (query_core_shard_cap_ != 0 &&
         shard.map.size() >= query_core_shard_cap_ &&
         shard.map.find(key) == shard.map.end()) {
-        // Halve by (activity, stamp), the same ReduceDB rule as the
-        // subsumption stores.
+        // Reduce by (activity, stamp), the same ReduceDB rule as the
+        // subsumption stores, keeping this store's policy fraction.
         std::vector<std::pair<uint64_t, const QueryCoreEntry *>> scored;
         scored.reserve(shard.map.size());
         for (const auto &[k, e] : shard.map)
@@ -274,7 +311,8 @@ PruneIndex::RecordQueryCore(const PruneFpVec &query_fps,
                           return a.second->activity > b.second->activity;
                       return a.second->stamp > b.second->stamp;
                   });
-        const size_t keep = (scored.size() + 1) / 2;
+        const size_t keep = KeepTarget(
+            scored.size(), config_.query_core_policy.keep_fraction);
         std::unordered_map<uint64_t, QueryCoreEntry> kept;
         kept.reserve(keep);
         for (size_t i = 0; i < keep; ++i)
@@ -286,11 +324,19 @@ PruneIndex::RecordQueryCore(const PruneFpVec &query_fps,
     }
     auto [it, inserted] = shard.map.try_emplace(key);
     if (!inserted)
-        return;  // first writer wins (any core proves the same verdict)
+        return false;  // first writer wins (any core proves the verdict)
     it->second.query = query_fps;
     it->second.core = core_fps;
     it->second.stamp = shard.next_stamp++;
-    query_cores_recorded_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+PruneIndex::RecordQueryCore(const PruneFpVec &query_fps,
+                            const PruneFpVec &core_fps)
+{
+    if (PutQueryCore(query_fps, core_fps))
+        query_cores_recorded_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool
@@ -309,6 +355,77 @@ PruneIndex::LookupQueryCore(const PruneFpVec &query_fps,
     if (core_fps != nullptr)
         *core_fps = it->second.core;
     return true;
+}
+
+void
+PruneIndex::ExportStore(const SubsumptionStore &store,
+                        std::vector<ExportedEntry> *out)
+{
+    for (const auto &shard : store.shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (const Entry &e : shard->entries) {
+            ExportedEntry exported;
+            exported.primary = e.primary;
+            exported.secondary = e.secondary;
+            exported.payload = e.payload;
+            out->push_back(std::move(exported));
+        }
+    }
+}
+
+void
+PruneIndex::ExportCores(std::vector<ExportedEntry> *out) const
+{
+    ExportStore(cores_, out);
+}
+
+void
+PruneIndex::ExportOverlay(std::vector<ExportedEntry> *out) const
+{
+    ExportStore(overlay_, out);
+}
+
+void
+PruneIndex::ExportQueryCores(std::vector<ExportedQueryCore> *out) const
+{
+    for (const auto &shard : query_cores_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (const auto &[key, e] : shard->map) {
+            ExportedQueryCore exported;
+            exported.query = e.query;
+            exported.core = e.core;
+            out->push_back(std::move(exported));
+        }
+    }
+}
+
+void
+PruneIndex::ImportCores(const std::vector<ExportedEntry> &entries)
+{
+    for (const ExportedEntry &e : entries) {
+        Record(&cores_, kImportedPublisher, e.payload, e.primary,
+               e.secondary);
+        imported_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+PruneIndex::ImportOverlay(const std::vector<ExportedEntry> &entries)
+{
+    for (const ExportedEntry &e : entries) {
+        Record(&overlay_, kImportedPublisher, e.payload, e.primary,
+               e.secondary);
+        imported_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+PruneIndex::ImportQueryCores(const std::vector<ExportedQueryCore> &entries)
+{
+    for (const ExportedQueryCore &e : entries) {
+        PutQueryCore(e.query, e.core);
+        imported_.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 size_t
@@ -360,6 +477,7 @@ PruneIndex::ExportStats(StatsRegistry *stats) const
     stats->Bump("prune.cross_worker_hits", Load(cross_hits_));
     stats->Bump("prune.evictions", Load(evictions_));
     stats->Bump("prune.hot_exemptions", Load(hot_exemptions_));
+    stats->Bump("prune.imported", Load(imported_));
     // Bumped, not Set: a run can export more than one index (the
     // ParallelEngine's shared instance plus the explorer's home one),
     // and the honest gauge is their sum -- a Set would let whichever

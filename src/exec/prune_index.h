@@ -86,6 +86,28 @@ using PruneFp = std::pair<uint64_t, uint64_t>;
  *  std::includes). */
 using PruneFpVec = std::vector<PruneFp>;
 
+/**
+ * Per-store eviction policy: how a full shard's halving round behaves.
+ * The defaults reproduce the historical shared rule bit-for-bit (keep
+ * ceil(n/2) by (activity, stamp) with the hot-core exemption), so a
+ * config that never touches the policies behaves exactly as before;
+ * per-store overrides let the overlay and delegated-core stores be
+ * tuned independently of the Trojan-core index.
+ */
+struct PruneStorePolicy
+{
+    /**
+     * Fraction of a full shard's entries a halving round keeps
+     * (keep = ceil(n * keep_fraction), clamped to [0, n]). 0.5 is
+     * exactly the historical "keep the upper half" rule.
+     */
+    double keep_fraction = 0.5;
+    /** Exempt entries with cross-worker hits since the last round
+     *  (consuming the exemption). Ignored by the query-core store,
+     *  which does not track cross-worker attribution. */
+    bool hot_exemption = true;
+};
+
 struct PruneIndexConfig
 {
     /** Lock stripes per store. */
@@ -105,6 +127,13 @@ struct PruneIndexConfig
      * Single-context (serial) owners leave it unlimited.
      */
     uint32_t shared_var_limit = 0xffffffffu;
+    /** Eviction policy for the core subsumption index (store 1). */
+    PruneStorePolicy core_policy;
+    /** Eviction policy for the differentFrom overlay (store 2). */
+    PruneStorePolicy overlay_policy;
+    /** Eviction policy for the delegated query-core store (store 3);
+     *  hot_exemption is ignored here. */
+    PruneStorePolicy query_core_policy;
 };
 
 /**
@@ -184,6 +213,46 @@ class PruneIndex
      *  verified, so a key collision is a miss, never a wrong core. */
     bool LookupQueryCore(const PruneFpVec &query_fps, PruneFpVec *core_fps);
 
+    // -- Snapshot export / import (src/persist) -----------------------
+
+    /**
+     * Publisher id recorded on entries imported from a snapshot. Never
+     * a real worker id, so any worker's hit on an imported entry counts
+     * as a cross-worker hit -- imported knowledge is hot by definition
+     * (it already transferred across a whole run).
+     */
+    static constexpr size_t kImportedPublisher =
+        static_cast<size_t>(-1);
+
+    /** One subsumption entry as it travels in a snapshot: fingerprint
+     *  parts and payload only (eviction metadata is run-local). */
+    struct ExportedEntry
+    {
+        PruneFpVec primary;
+        PruneFpVec secondary;
+        uint64_t payload = 0;
+    };
+    /** One delegated query core as it travels in a snapshot. */
+    struct ExportedQueryCore
+    {
+        PruneFpVec query;
+        PruneFpVec core;
+    };
+
+    void ExportCores(std::vector<ExportedEntry> *out) const;
+    void ExportOverlay(std::vector<ExportedEntry> *out) const;
+    void ExportQueryCores(std::vector<ExportedQueryCore> *out) const;
+
+    /** Imports route through the normal record paths (dedup, eviction)
+     *  under kImportedPublisher, counted separately from run-recorded
+     *  entries so warm-start volume is attributable. */
+    void ImportCores(const std::vector<ExportedEntry> &entries);
+    void ImportOverlay(const std::vector<ExportedEntry> &entries);
+    void ImportQueryCores(const std::vector<ExportedQueryCore> &entries);
+
+    /** Entries restored from snapshots (all three stores). */
+    int64_t imported() const { return Load(imported_); }
+
     // -- Introspection ------------------------------------------------
 
     size_t core_entries() const;
@@ -247,6 +316,13 @@ class PruneIndex
         };
         std::vector<std::unique_ptr<Shard>> shards;
         size_t per_shard_cap = 0;
+        PruneStorePolicy policy;
+        /** Total live entries across shards, maintained by Record /
+         *  EvictHalf: lets probes skip an empty store without taking
+         *  any shard lock (the differentFrom overlay is empty for the
+         *  whole run whenever no single-field core is ever found, yet
+         *  it used to be hashed and locked on every match query). */
+        std::atomic<size_t> live{0};
     };
 
     /** One delegated query core. */
@@ -272,7 +348,8 @@ class PruneIndex
 
     static PruneFp KeyOf(const PruneFpVec &primary,
                          const PruneFpVec &secondary);
-    void InitStore(SubsumptionStore *store, size_t cap) const;
+    void InitStore(SubsumptionStore *store, size_t cap,
+                   const PruneStorePolicy &policy) const;
     SubsumptionStore::Shard &ShardFor(SubsumptionStore &store,
                                       const PruneFp &key) const;
     void Record(SubsumptionStore *store, size_t publisher,
@@ -282,9 +359,17 @@ class PruneIndex
                const PruneFpVec &primary_set,
                const PruneFpVec &secondary_set, uint64_t *payload,
                std::atomic<int64_t> *hit_counter);
-    /** Drop the lower half of a full shard by (activity, stamp). */
-    void EvictHalf(SubsumptionStore::Shard *shard);
+    /** Drop a full shard's lower entries by (activity, stamp), keeping
+     *  the store policy's fraction. */
+    void EvictHalf(SubsumptionStore *store,
+                   SubsumptionStore::Shard *shard);
     static size_t StoreSize(const SubsumptionStore &store);
+    static void ExportStore(const SubsumptionStore &store,
+                            std::vector<ExportedEntry> *out);
+    /** Insert one delegated query core (the shared body of
+     *  RecordQueryCore and ImportQueryCores); true when inserted. */
+    bool PutQueryCore(const PruneFpVec &query_fps,
+                      const PruneFpVec &core_fps);
 
     static uint64_t ChainHash(const PruneFpVec &fps);
 
@@ -305,6 +390,7 @@ class PruneIndex
     std::atomic<int64_t> cross_hits_{0};
     std::atomic<int64_t> evictions_{0};
     std::atomic<int64_t> hot_exemptions_{0};
+    std::atomic<int64_t> imported_{0};
 };
 
 }  // namespace exec

@@ -58,6 +58,14 @@ ParallelEngine::Run()
                     ? static_cast<size_t>(solver_config_.lemma_pool_cap)
                     : 0);
     }
+    // Warm start: restore persisted knowledge into the freshly built
+    // stores before any worker thread exists. Restored facts only skip
+    // queries whose answers they already are, so witness sets stay
+    // bitwise identical to a cold run's.
+    if (restore_hook_) {
+        restore_hook_(prune_index_.get(), cache_.get(),
+                      clause_exchange_.get());
+    }
 
     SchedulerConfig sched_config;
     sched_config.num_workers = n;
@@ -229,6 +237,12 @@ ParallelEngine::Run()
             freeze("lemmas.fetched", clause_exchange_->fetched());
             freeze("lemmas.evicted", clause_exchange_->evicted());
         }
+    }
+    // Everything this run proved, for the next run's warm start. After
+    // the join, so the stores are quiescent.
+    if (capture_hook_) {
+        capture_hook_(prune_index_.get(), cache_.get(),
+                      clause_exchange_.get());
     }
     return results;
 }

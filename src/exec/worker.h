@@ -37,6 +37,7 @@
 #define ACHILLES_EXEC_WORKER_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -118,6 +119,29 @@ class ParallelEngine
     }
 
     /**
+     * Hook over the run's shared knowledge stores (the clause-exchange
+     * pointer is null when the exchange is off). Used by the warm-start
+     * persistence layer (src/persist), which this subsystem must not
+     * depend on -- callers inject the snapshot logic from above.
+     */
+    using KnowledgeHook =
+        std::function<void(PruneIndex *, QueryCache *, ClauseExchange *)>;
+
+    /**
+     * `restore` runs after the shared stores are constructed and before
+     * any worker thread starts (single-threaded, so imports need no
+     * coordination with consumers); `capture` runs after every worker
+     * has joined and stats are merged, immediately before Run returns.
+     * Either may be null.
+     */
+    void
+    SetKnowledgeHooks(KnowledgeHook restore, KnowledgeHook capture)
+    {
+        restore_hook_ = std::move(restore);
+        capture_hook_ = std::move(capture);
+    }
+
+    /**
      * Explore all paths with num_workers threads; returns one PathResult
      * per finished path, expressed in the home context and ordered by
      * (schedule-independent) state id.
@@ -155,6 +179,8 @@ class ParallelEngine
     std::vector<std::unique_ptr<symexec::Listener>> listeners_;
     std::atomic<size_t> finished_paths_{0};
     StatsRegistry stats_;
+    KnowledgeHook restore_hook_;
+    KnowledgeHook capture_hook_;
     bool ran_ = false;
 };
 

@@ -1,0 +1,130 @@
+// Achilles reproduction -- warm-start knowledge persistence.
+
+#include "persist/fingerprint.h"
+
+#include <string>
+#include <vector>
+
+#include "core/message.h"
+#include "symexec/program.h"
+
+namespace achilles {
+namespace persist {
+
+namespace {
+
+/** FNV-1a accumulator. Every field is hashed with a leading type/count
+ *  byte sequence so that adjacent variable-length parts (names, kid
+ *  lists) cannot alias each other's encodings. */
+struct Fnv
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+
+    void
+    Byte(uint8_t b)
+    {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    void
+    U32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            Byte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    void
+    U64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            Byte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    void
+    Str(const std::string &s)
+    {
+        U64(s.size());
+        for (char c : s)
+            Byte(static_cast<uint8_t>(c));
+    }
+};
+
+void
+HashDExpr(Fnv *fnv, const symexec::DExprRef &node)
+{
+    if (node == nullptr) {
+        fnv->Byte(0);
+        return;
+    }
+    fnv->Byte(1);
+    fnv->Byte(static_cast<uint8_t>(node->kind));
+    fnv->U32(node->width);
+    fnv->U64(node->value);
+    fnv->Str(node->name);
+    fnv->Byte(static_cast<uint8_t>(node->op));
+    fnv->U64(node->kids.size());
+    for (const symexec::DExprRef &kid : node->kids)
+        HashDExpr(fnv, kid);
+}
+
+void
+HashProgram(Fnv *fnv, const symexec::Program &program)
+{
+    fnv->Str(program.name);
+    fnv->U64(program.functions.size());
+    for (const symexec::Function &fn : program.functions) {
+        fnv->Str(fn.name);
+        fnv->U64(fn.params.size());
+        for (const auto &[pname, pwidth] : fn.params) {
+            fnv->Str(pname);
+            fnv->U32(pwidth);
+        }
+        fnv->U32(fn.ret_width);
+        fnv->U64(fn.instrs.size());
+        for (const symexec::Instr &ins : fn.instrs) {
+            fnv->Byte(static_cast<uint8_t>(ins.op));
+            fnv->Str(ins.dest);
+            fnv->Str(ins.array);
+            HashDExpr(fnv, ins.e0);
+            HashDExpr(fnv, ins.e1);
+            fnv->U32(ins.a);
+            fnv->U32(ins.b);
+            fnv->U64(ins.args.size());
+            for (const symexec::DExprRef &arg : ins.args)
+                HashDExpr(fnv, arg);
+            fnv->Str(ins.label);
+        }
+    }
+}
+
+void
+HashLayout(Fnv *fnv, const core::MessageLayout &layout)
+{
+    fnv->U32(layout.length());
+    fnv->U64(layout.fields().size());
+    for (const core::FieldSpec &field : layout.fields()) {
+        fnv->Str(field.name);
+        fnv->U32(field.offset);
+        fnv->U32(field.size);
+        fnv->Byte(layout.IsMasked(field.name) ? 1 : 0);
+    }
+}
+
+}  // namespace
+
+uint64_t
+ProtocolFingerprint(const proto::ProtocolBundle &bundle)
+{
+    Fnv fnv;
+    // The registry name participates: two same-shape protocols under
+    // different names keep separate snapshot files, which is what the
+    // fingerprint-named --knowledge-dir scheme wants.
+    fnv.Str(bundle.info.name);
+    HashLayout(&fnv, bundle.layout);
+    HashProgram(&fnv, bundle.server);
+    fnv.U64(bundle.clients.size());
+    for (const symexec::Program &client : bundle.clients)
+        HashProgram(&fnv, client);
+    return fnv.h;
+}
+
+}  // namespace persist
+}  // namespace achilles

@@ -1,0 +1,29 @@
+// Achilles reproduction -- warm-start knowledge persistence.
+//
+// Protocol fingerprinting: a structural hash over a materialized
+// ProtocolBundle that keys knowledge snapshots. The soundness of
+// cross-run fingerprint reuse rests on "same protocol => same
+// deterministic construction => same variable ids"; this hash is the
+// machine-checkable form of "same protocol". It covers everything the
+// construction depends on -- layout geometry and masks, every client
+// and server instruction, and every DSL expression tree -- so editing a
+// field width, an opcode operand, or a guard constant changes the
+// fingerprint and retires the old snapshot to a silent cold start.
+
+#ifndef ACHILLES_PERSIST_FINGERPRINT_H_
+#define ACHILLES_PERSIST_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "proto/registry.h"
+
+namespace achilles {
+namespace persist {
+
+/** Structural FNV-1a hash of the bundle (layout + server + clients). */
+uint64_t ProtocolFingerprint(const proto::ProtocolBundle &bundle);
+
+}  // namespace persist
+}  // namespace achilles
+
+#endif  // ACHILLES_PERSIST_FINGERPRINT_H_

@@ -1,0 +1,534 @@
+// Achilles reproduction -- warm-start knowledge persistence.
+
+#include "persist/snapshot.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <tuple>
+
+namespace achilles {
+namespace persist {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'C', 'H', 'S', 'N', 'A', 'P', '\0'};
+
+// Section tags. Unknown tags fail the load: a future writer's snapshot
+// is not partially importable, per the all-or-nothing rule.
+constexpr uint32_t kSectionCores = 1;
+constexpr uint32_t kSectionOverlay = 2;
+constexpr uint32_t kSectionQueryCores = 3;
+constexpr uint32_t kSectionLemmas = 4;
+constexpr uint32_t kSectionQueries = 5;
+
+// ------------------------------------------------------------ encoding
+
+void
+PutU32(std::vector<uint8_t> *buf, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+PutU64(std::vector<uint8_t> *buf, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+PutFpVec(std::vector<uint8_t> *buf, const exec::PruneFpVec &fps)
+{
+    PutU64(buf, fps.size());
+    for (const exec::PruneFp &fp : fps) {
+        PutU64(buf, fp.first);
+        PutU64(buf, fp.second);
+    }
+}
+
+/** Bounds-checked little-endian reader; every defect latches ok=false
+ *  and subsequent reads return zeros. */
+struct Reader
+{
+    const uint8_t *data = nullptr;
+    size_t size = 0;
+    size_t pos = 0;
+    bool ok = true;
+
+    bool
+    Need(size_t n)
+    {
+        if (!ok || size - pos < n) {
+            ok = false;
+            return false;
+        }
+        return true;
+    }
+    uint32_t
+    U32()
+    {
+        if (!Need(4))
+            return 0;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(data[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+    uint64_t
+    U64()
+    {
+        if (!Need(8))
+            return 0;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(data[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+    uint8_t
+    U8()
+    {
+        if (!Need(1))
+            return 0;
+        return data[pos++];
+    }
+};
+
+bool
+GetFpVec(Reader *r, exec::PruneFpVec *out)
+{
+    const uint64_t count = r->U64();
+    // Each fingerprint is 16 bytes; a count the remaining payload
+    // cannot hold is a corruption, caught before any allocation.
+    if (!r->ok || count > (r->size - r->pos) / 16) {
+        r->ok = false;
+        return false;
+    }
+    out->clear();
+    out->reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+        const uint64_t first = r->U64();
+        const uint64_t second = r->U64();
+        out->emplace_back(first, second);
+    }
+    if (!r->ok || !std::is_sorted(out->begin(), out->end())) {
+        r->ok = false;
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------- section payloads
+
+std::vector<uint8_t>
+EncodeEntries(const std::vector<exec::PruneIndex::ExportedEntry> &entries)
+{
+    std::vector<uint8_t> buf;
+    PutU64(&buf, entries.size());
+    for (const auto &e : entries) {
+        PutU64(&buf, e.payload);
+        PutFpVec(&buf, e.primary);
+        PutFpVec(&buf, e.secondary);
+    }
+    return buf;
+}
+
+bool
+DecodeEntries(Reader *r,
+              std::vector<exec::PruneIndex::ExportedEntry> *out)
+{
+    const uint64_t count = r->U64();
+    if (!r->ok || count > (r->size - r->pos) / 24)
+        return false;
+    out->reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+        exec::PruneIndex::ExportedEntry e;
+        e.payload = r->U64();
+        if (!GetFpVec(r, &e.primary) || !GetFpVec(r, &e.secondary))
+            return false;
+        out->push_back(std::move(e));
+    }
+    return r->ok;
+}
+
+std::vector<uint8_t>
+EncodeQueryCores(
+    const std::vector<exec::PruneIndex::ExportedQueryCore> &entries)
+{
+    std::vector<uint8_t> buf;
+    PutU64(&buf, entries.size());
+    for (const auto &e : entries) {
+        PutFpVec(&buf, e.query);
+        PutFpVec(&buf, e.core);
+    }
+    return buf;
+}
+
+bool
+DecodeQueryCores(Reader *r,
+                 std::vector<exec::PruneIndex::ExportedQueryCore> *out)
+{
+    const uint64_t count = r->U64();
+    if (!r->ok || count > (r->size - r->pos) / 16)
+        return false;
+    out->reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+        exec::PruneIndex::ExportedQueryCore e;
+        if (!GetFpVec(r, &e.query) || !GetFpVec(r, &e.core))
+            return false;
+        out->push_back(std::move(e));
+    }
+    return r->ok;
+}
+
+std::vector<uint8_t>
+EncodeLemmas(const std::vector<exec::Lemma> &lemmas)
+{
+    std::vector<uint8_t> buf;
+    PutU64(&buf, lemmas.size());
+    for (const exec::Lemma &lemma : lemmas)
+        PutFpVec(&buf, lemma);
+    return buf;
+}
+
+bool
+DecodeLemmas(Reader *r, std::vector<exec::Lemma> *out)
+{
+    const uint64_t count = r->U64();
+    if (!r->ok || count > (r->size - r->pos) / 8)
+        return false;
+    out->reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+        exec::Lemma lemma;
+        if (!GetFpVec(r, &lemma) || lemma.empty())
+            return false;
+        out->push_back(std::move(lemma));
+    }
+    return r->ok;
+}
+
+std::vector<uint8_t>
+EncodeQueries(const std::vector<exec::QueryCache::ExportedEntry> &entries)
+{
+    std::vector<uint8_t> buf;
+    PutU64(&buf, entries.size());
+    for (const auto &e : entries) {
+        PutFpVec(&buf, e.fingerprints);
+        buf.push_back(static_cast<uint8_t>(e.status));
+        buf.push_back(e.has_model ? 1 : 0);
+        PutU64(&buf, e.model_values.size());
+        for (const auto &[id, value] : e.model_values) {
+            PutU32(&buf, id);
+            PutU64(&buf, value);
+        }
+    }
+    return buf;
+}
+
+bool
+DecodeQueries(Reader *r,
+              std::vector<exec::QueryCache::ExportedEntry> *out)
+{
+    const uint64_t count = r->U64();
+    if (!r->ok || count > (r->size - r->pos) / 18)
+        return false;
+    out->reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+        exec::QueryCache::ExportedEntry e;
+        if (!GetFpVec(r, &e.fingerprints))
+            return false;
+        const uint8_t status = r->U8();
+        // Only decided verdicts are ever stored (Insert refuses
+        // kUnknown); any other byte is corruption.
+        if (status > 1)
+            return false;
+        e.status = static_cast<smt::CheckStatus>(status);
+        e.has_model = r->U8() != 0;
+        const uint64_t values = r->U64();
+        if (!r->ok || values > (r->size - r->pos) / 12)
+            return false;
+        e.model_values.reserve(static_cast<size_t>(values));
+        for (uint64_t k = 0; k < values; ++k) {
+            const uint32_t id = r->U32();
+            const uint64_t value = r->U64();
+            e.model_values.emplace_back(id, value);
+        }
+        if (!std::is_sorted(e.model_values.begin(),
+                            e.model_values.end())) {
+            return false;
+        }
+        out->push_back(std::move(e));
+    }
+    return r->ok;
+}
+
+// -------------------------------------------------- canonical ordering
+
+bool
+EntryLess(const exec::PruneIndex::ExportedEntry &a,
+          const exec::PruneIndex::ExportedEntry &b)
+{
+    return std::tie(a.primary, a.secondary, a.payload) <
+           std::tie(b.primary, b.secondary, b.payload);
+}
+
+bool
+EntryEq(const exec::PruneIndex::ExportedEntry &a,
+        const exec::PruneIndex::ExportedEntry &b)
+{
+    return a.primary == b.primary && a.secondary == b.secondary &&
+           a.payload == b.payload;
+}
+
+void
+Canonicalize(KnowledgeSnapshot *snap)
+{
+    // Deterministic bytes for identical knowledge: shard layout,
+    // capture order and duplicate appends (engine stores + home index)
+    // must not show in the file.
+    std::sort(snap->cores.begin(), snap->cores.end(), EntryLess);
+    snap->cores.erase(std::unique(snap->cores.begin(), snap->cores.end(),
+                                  EntryEq),
+                      snap->cores.end());
+    std::sort(snap->overlay.begin(), snap->overlay.end(), EntryLess);
+    snap->overlay.erase(std::unique(snap->overlay.begin(),
+                                    snap->overlay.end(), EntryEq),
+                        snap->overlay.end());
+    const auto qc_less = [](const exec::PruneIndex::ExportedQueryCore &a,
+                            const exec::PruneIndex::ExportedQueryCore &b) {
+        return std::tie(a.query, a.core) < std::tie(b.query, b.core);
+    };
+    const auto qc_eq = [](const exec::PruneIndex::ExportedQueryCore &a,
+                          const exec::PruneIndex::ExportedQueryCore &b) {
+        return a.query == b.query && a.core == b.core;
+    };
+    std::sort(snap->query_cores.begin(), snap->query_cores.end(), qc_less);
+    snap->query_cores.erase(std::unique(snap->query_cores.begin(),
+                                        snap->query_cores.end(), qc_eq),
+                            snap->query_cores.end());
+    std::sort(snap->lemmas.begin(), snap->lemmas.end());
+    snap->lemmas.erase(
+        std::unique(snap->lemmas.begin(), snap->lemmas.end()),
+        snap->lemmas.end());
+    // Queries: dedup by fingerprint vector, preferring the entry that
+    // carries a model (models are pure functions of the query, so any
+    // carrier has the same bytes).
+    const auto q_less = [](const exec::QueryCache::ExportedEntry &a,
+                           const exec::QueryCache::ExportedEntry &b) {
+        if (a.fingerprints != b.fingerprints)
+            return a.fingerprints < b.fingerprints;
+        return a.has_model > b.has_model;
+    };
+    const auto q_same_query = [](const exec::QueryCache::ExportedEntry &a,
+                                 const exec::QueryCache::ExportedEntry &b) {
+        return a.fingerprints == b.fingerprints;
+    };
+    std::sort(snap->queries.begin(), snap->queries.end(), q_less);
+    snap->queries.erase(std::unique(snap->queries.begin(),
+                                    snap->queries.end(), q_same_query),
+                        snap->queries.end());
+}
+
+void
+AppendSection(std::vector<uint8_t> *file, uint32_t tag,
+              const std::vector<uint8_t> &payload)
+{
+    PutU32(file, tag);
+    PutU64(file, payload.size());
+    PutU32(file, payload.empty()
+                     ? Crc32(nullptr, 0)
+                     : Crc32(payload.data(), payload.size()));
+    file->insert(file->end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+uint32_t
+Crc32(const uint8_t *data, size_t size)
+{
+    // IEEE 802.3 reflected polynomial, table built on first use.
+    static const auto table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t crc = 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+bool
+SaveSnapshot(const KnowledgeSnapshot &snapshot, const std::string &path,
+             std::string *error)
+{
+    KnowledgeSnapshot canonical = snapshot;
+    Canonicalize(&canonical);
+
+    std::vector<uint8_t> file;
+    file.insert(file.end(), kMagic, kMagic + sizeof(kMagic));
+    PutU32(&file, kSnapshotFormatVersion);
+    PutU64(&file, canonical.protocol_fingerprint);
+    PutU32(&file, 5);  // section count
+    AppendSection(&file, kSectionCores, EncodeEntries(canonical.cores));
+    AppendSection(&file, kSectionOverlay,
+                  EncodeEntries(canonical.overlay));
+    AppendSection(&file, kSectionQueryCores,
+                  EncodeQueryCores(canonical.query_cores));
+    AppendSection(&file, kSectionLemmas, EncodeLemmas(canonical.lemmas));
+    AppendSection(&file, kSectionQueries,
+                  EncodeQueries(canonical.queries));
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        if (error)
+            *error = "cannot open " + path + " for writing";
+        return false;
+    }
+    const size_t written = std::fwrite(file.data(), 1, file.size(), f);
+    const bool closed = std::fclose(f) == 0;
+    if (written != file.size() || !closed) {
+        if (error)
+            *error = "short write to " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+LoadSnapshot(const std::string &path, uint64_t expected_fingerprint,
+             KnowledgeSnapshot *out, std::string *error)
+{
+    const auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        *out = KnowledgeSnapshot{};
+        return false;
+    };
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return fail("cannot open " + path);
+    std::vector<uint8_t> file;
+    uint8_t chunk[1 << 16];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        file.insert(file.end(), chunk, chunk + n);
+    std::fclose(f);
+
+    Reader r{file.data(), file.size(), 0, true};
+    if (!r.Need(sizeof(kMagic)) ||
+        std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+        return fail("bad magic (not an Achilles snapshot)");
+    }
+    r.pos = sizeof(kMagic);
+    const uint32_t version = r.U32();
+    if (!r.ok || version != kSnapshotFormatVersion)
+        return fail("unsupported format version " +
+                    std::to_string(version));
+    const uint64_t fingerprint = r.U64();
+    if (!r.ok || fingerprint != expected_fingerprint) {
+        // The common, silent miss: a snapshot of a different (or
+        // edited) protocol. Its fingerprints would mean different
+        // assertions; never import them.
+        return fail("protocol fingerprint mismatch");
+    }
+    const uint32_t section_count = r.U32();
+    if (!r.ok)
+        return fail("truncated header");
+
+    KnowledgeSnapshot snap;
+    snap.protocol_fingerprint = fingerprint;
+    bool seen[6] = {false, false, false, false, false, false};
+    for (uint32_t s = 0; s < section_count; ++s) {
+        const uint32_t tag = r.U32();
+        const uint64_t payload_size = r.U64();
+        const uint32_t crc = r.U32();
+        if (!r.ok || payload_size > r.size - r.pos)
+            return fail("truncated section header/payload");
+        const uint8_t *payload = file.data() + r.pos;
+        if (Crc32(payload, static_cast<size_t>(payload_size)) != crc)
+            return fail("section CRC mismatch (tag " +
+                        std::to_string(tag) + ")");
+        if (tag == 0 || tag > 5 || seen[tag])
+            return fail("unknown or duplicate section tag " +
+                        std::to_string(tag));
+        seen[tag] = true;
+        Reader sec{payload, static_cast<size_t>(payload_size), 0, true};
+        bool decoded = false;
+        switch (tag) {
+            case kSectionCores:
+                decoded = DecodeEntries(&sec, &snap.cores);
+                break;
+            case kSectionOverlay:
+                decoded = DecodeEntries(&sec, &snap.overlay);
+                break;
+            case kSectionQueryCores:
+                decoded = DecodeQueryCores(&sec, &snap.query_cores);
+                break;
+            case kSectionLemmas:
+                decoded = DecodeLemmas(&sec, &snap.lemmas);
+                break;
+            case kSectionQueries:
+                decoded = DecodeQueries(&sec, &snap.queries);
+                break;
+        }
+        // The payload must decode cleanly AND account for every byte;
+        // trailing garbage means the size field and the content
+        // disagree.
+        if (!decoded || !sec.ok || sec.pos != sec.size)
+            return fail("malformed section payload (tag " +
+                        std::to_string(tag) + ")");
+        r.pos += static_cast<size_t>(payload_size);
+    }
+    if (r.pos != r.size)
+        return fail("trailing bytes after last section");
+
+    *out = std::move(snap);
+    return true;
+}
+
+void
+RestoreKnowledge(const KnowledgeSnapshot &snapshot,
+                 exec::PruneIndex *prune, exec::QueryCache *cache,
+                 exec::ClauseExchange *exchange)
+{
+    if (prune != nullptr) {
+        prune->ImportCores(snapshot.cores);
+        prune->ImportOverlay(snapshot.overlay);
+        prune->ImportQueryCores(snapshot.query_cores);
+    }
+    if (cache != nullptr)
+        cache->Import(snapshot.queries);
+    if (exchange != nullptr)
+        exchange->Import(snapshot.lemmas);
+}
+
+void
+CaptureKnowledge(const exec::PruneIndex *prune,
+                 const exec::QueryCache *cache,
+                 const exec::ClauseExchange *exchange,
+                 KnowledgeSnapshot *out)
+{
+    if (prune != nullptr) {
+        prune->ExportCores(&out->cores);
+        prune->ExportOverlay(&out->overlay);
+        prune->ExportQueryCores(&out->query_cores);
+    }
+    if (cache != nullptr)
+        cache->Export(&out->queries);
+    if (exchange != nullptr)
+        exchange->Export(&out->lemmas);
+}
+
+}  // namespace persist
+}  // namespace achilles
